@@ -1,0 +1,306 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), plus micro-benchmarks of the predictor
+// itself. Each table benchmark regenerates its table from the shared
+// full-scale traces (simulated once per process and memoized) and
+// reports the headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` both measures the harness and emits the
+// reproduced results.
+package cosmos_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/speculate"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// fullSuite lazily builds the shared full-scale suite; the first
+// benchmark that needs a trace pays its simulation cost exactly once.
+func fullSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.DefaultConfig())
+	})
+	return suite
+}
+
+// warm materializes all five traces outside the timed region.
+func warm(b *testing.B, s *experiments.Suite) {
+	b.Helper()
+	for _, app := range s.Apps() {
+		if _, err := s.Trace(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (prediction rates, depths 1-4).
+// Reported metrics: overall accuracy per benchmark at depth 1.
+func BenchmarkTable5(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Depth == 1 {
+			b.ReportMetric(r.Overall, r.App+"_d1_%")
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 (noise filters x depth).
+func BenchmarkTable6(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Depth == 1 && r.FilterMax == 1 {
+			b.ReportMetric(r.Overall, r.App+"_f1_%")
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7 (predictor memory overhead).
+func BenchmarkTable7(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	var rows []experiments.Table7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Depth == 1 {
+			b.ReportMetric(r.Ratio, r.App+"_ratio")
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Table 8 (dsmc adaptation over run length).
+func BenchmarkTable8(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	var cells []experiments.Table8Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Table8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if c.Arc == experiments.Table8Transitions[1] {
+			b.ReportMetric(c.HitPct, "gror_to_irwr_hits_%")
+			break
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the analytic speedup curves.
+func BenchmarkFigure5(b *testing.B) {
+	var fig *experiments.Figure5
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.RunFigure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The paper's headline: substantial speedups at p=0.8.
+	b.ReportMetric(fig.FSweeps[0].Points[0].Speedup, "max_speedup_x")
+}
+
+// BenchmarkFigure6 regenerates the Figure 6 signature panels (appbt,
+// barnes, dsmc).
+func BenchmarkFigure6(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, app := range []string{"appbt", "barnes", "dsmc"} {
+			if _, err := experiments.Figures6and7(s, app, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the Figure 7 signature panels (moldyn,
+// unstructured).
+func BenchmarkFigure7(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, app := range []string{"moldyn", "unstructured"} {
+			if _, err := experiments.Figures6and7(s, app, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the directed-signature detection runs.
+func BenchmarkFigure8(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var res *experiments.Figure8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Migratory.AccuracyWhenPredicting, "migratory_acc_%")
+	b.ReportMetric(100*res.DSI.AccuracyWhenPredicting, "dsi_acc_%")
+}
+
+// BenchmarkDirectedComparison regenerates the Section 7 comparison.
+func BenchmarkDirectedComparison(b *testing.B) {
+	s := fullSuite(b)
+	warm(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DirectedComparison(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLatencyInsensitivity re-simulates at 40ns and 1us network
+// latency (Section 5's robustness claim). Uses the medium scale: each
+// iteration simulates all five benchmarks twice.
+func BenchmarkLatencyInsensitivity(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = workload.ScaleMedium
+	var rows []experiments.LatencyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.LatencySweep(cfg, []uint64{40, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) >= 2 {
+		b.ReportMetric(rows[0].Overall-rows[len(rows)/2].Overall, "accuracy_delta_pts")
+	}
+}
+
+// BenchmarkHalfMigratoryAblation re-simulates with the Section 5.1
+// protocol optimization on and off (medium scale).
+func BenchmarkHalfMigratoryAblation(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = workload.ScaleMedium
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HalfMigratoryAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAcceleratedProtocol measures the end-to-end Section 4
+// integration: migratory workload with and without the RMW action.
+func BenchmarkAcceleratedProtocol(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	geom := coherence.MustGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
+	app := func() workload.App {
+		return workload.Migratory(cfg.Nodes, workload.NewArena(geom).Alloc(32), 30)
+	}
+	var cmp *speculate.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = speculate.Accelerate(app, cfg, stache.DefaultOptions(), core.Config{Depth: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*cmp.MessageReduction(), "msg_reduction_%")
+	b.ReportMetric(100*cmp.TimeReduction(), "time_reduction_%")
+}
+
+// BenchmarkPredictorObserve measures raw predictor throughput: one
+// Observe (predict + train) per op on a steady periodic stream.
+func BenchmarkPredictorObserve(b *testing.B) {
+	for _, depth := range []int{1, 2, 4} {
+		depth := depth
+		b.Run(map[int]string{1: "depth1", 2: "depth2", 4: "depth4"}[depth], func(b *testing.B) {
+			p := core.MustNew(core.Config{Depth: depth})
+			seq := []coherence.Tuple{
+				{Sender: 1, Type: coherence.GetRWReq},
+				{Sender: 2, Type: coherence.InvalROResp},
+				{Sender: 2, Type: coherence.GetROReq},
+				{Sender: 1, Type: coherence.InvalRWResp},
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Observe(coherence.Addr(uint64(i%1024)*64), seq[i%len(seq)])
+			}
+		})
+	}
+}
+
+// BenchmarkSimulation measures the machine simulator itself: events
+// per second driving the dsmc workload at small scale.
+func BenchmarkSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app := workload.NewDSMC(16, workload.ScaleSmall)
+		cfg := sim.DefaultConfig()
+		m, err := machine.New(cfg, stache.DefaultOptions(), app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(100_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateThroughput measures trace evaluation speed
+// (records/op is constant; time per op is what matters).
+func BenchmarkEvaluateThroughput(b *testing.B) {
+	s := fullSuite(b)
+	tr, err := s.Trace("moldyn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Evaluate(tr, core.Config{Depth: 2}, stats.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "records")
+}

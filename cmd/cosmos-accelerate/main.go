@@ -1,0 +1,122 @@
+// Command cosmos-accelerate runs a workload twice — under plain Stache
+// and under Stache with Cosmos-driven protocol actions (Section 4) —
+// and reports the message and runtime differences.
+//
+// Two actions are available, both from Table 2:
+//
+//	rmw   directories answer a read with an exclusive copy when the
+//	      reader's upgrade is predicted next (helps migratory sharing)
+//	dsi   caches return exclusive blocks to the directory when an
+//	      inval_rw_request is predicted next (helps producer-consumer)
+//
+// Usage:
+//
+//	cosmos-accelerate -action rmw -app moldyn -scale medium
+//	cosmos-accelerate -action dsi -app producer-consumer
+//	cosmos-accelerate -action rmw -app migratory -depth 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/speculate"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-accelerate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		action  = flag.String("action", "rmw", "protocol action: rmw | dsi")
+		appName = flag.String("app", "migratory", "workload: one of the five benchmarks, or migratory | producer-consumer | read-modify-write")
+		scale   = flag.String("scale", "medium", "benchmark scale: small | medium | full (micro workloads ignore this)")
+		depth   = flag.Int("depth", 1, "oracle MHR depth (1-4)")
+		iters   = flag.Int("iters", 40, "micro-workload iterations")
+		blocks  = flag.Int("blocks", 32, "micro-workload shared blocks")
+	)
+	flag.Parse()
+
+	if *iters < 1 || *blocks < 1 {
+		return fmt.Errorf("-iters and -blocks must be positive (got %d, %d)", *iters, *blocks)
+	}
+	mcfg := sim.DefaultConfig()
+	app, err := buildApp(*appName, *scale, mcfg, *iters, *blocks)
+	if err != nil {
+		return err
+	}
+	pcfg := core.Config{Depth: *depth}
+	if err := pcfg.Validate(); err != nil {
+		return err
+	}
+
+	var cmp *speculate.Comparison
+	switch *action {
+	case "rmw":
+		cmp, err = speculate.Accelerate(app, mcfg, stache.DefaultOptions(), pcfg)
+	case "dsi":
+		cmp, err = speculate.AccelerateDSI(app, mcfg, stache.DefaultOptions(), pcfg)
+	default:
+		return fmt.Errorf("unknown action %q (want rmw or dsi)", *action)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s, action %s, oracle depth %d\n\n", *appName, *action, *depth)
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "accelerated")
+	fmt.Printf("%-22s %14d %14d\n", "network messages", cmp.Baseline.Messages, cmp.Accelerated.Messages)
+	fmt.Printf("%-22s %14d %14d\n", "upgrade_requests", cmp.Baseline.UpgradeRequests, cmp.Accelerated.UpgradeRequests)
+	fmt.Printf("%-22s %14d %14d\n", "invalidations", cmp.Baseline.Invalidations, cmp.Accelerated.Invalidations)
+	fmt.Printf("%-22s %14v %14v\n", "simulated time", cmp.Baseline.FinalTime, cmp.Accelerated.FinalTime)
+	fmt.Printf("%-22s %14s %14d\n", "actions taken", "-", cmp.Accelerated.Speculations)
+	fmt.Printf("\nmessage reduction %.1f%%, runtime reduction %.1f%%\n",
+		100*cmp.MessageReduction(), 100*cmp.TimeReduction())
+	return nil
+}
+
+// buildApp returns a fresh-workload factory (the comparison runs the
+// workload twice and needs independent instances).
+func buildApp(name, scale string, mcfg sim.Config, iters, blocks int) (func() workload.App, error) {
+	geom := coherence.MustGeometry(mcfg.CacheBlockBytes, mcfg.PageBytes, mcfg.Nodes)
+	switch name {
+	case "migratory":
+		return func() workload.App {
+			return workload.Migratory(mcfg.Nodes, workload.NewArena(geom).Alloc(blocks), iters)
+		}, nil
+	case "producer-consumer":
+		return func() workload.App {
+			return workload.ProducerConsumer(mcfg.Nodes, 1, []int{2, 5}, workload.NewArena(geom).Alloc(blocks), iters)
+		}, nil
+	case "read-modify-write":
+		return func() workload.App {
+			return workload.ReadModifyWrite(mcfg.Nodes, blocks/mcfg.Nodes+1, workload.NewArena(geom), iters)
+		}, nil
+	}
+	sc, ok := experiments.ScaleFor(scale)
+	if !ok {
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	// Validate the benchmark name once up front.
+	if _, err := workload.ByName(name, mcfg.Nodes, sc); err != nil {
+		return nil, err
+	}
+	return func() workload.App {
+		a, err := workload.ByName(name, mcfg.Nodes, sc)
+		if err != nil {
+			panic(err) // validated above
+		}
+		return a
+	}, nil
+}

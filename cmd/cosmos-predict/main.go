@@ -1,0 +1,106 @@
+// Command cosmos-predict evaluates Cosmos predictor configurations
+// over a saved coherence message trace (produced by stache-trace),
+// reporting the paper's accuracy metrics: overall / cache-side /
+// directory-side rates, per-iteration adaptation, dominant transition
+// arcs, and predictor memory.
+//
+// Usage:
+//
+//	stache-trace -app dsmc -scale medium -o dsmc.trace
+//	cosmos-predict -in dsmc.trace -depth 3 -filter 1 -arcs
+//	cosmos-predict -in dsmc.trace -sweep          # depths 1-4 at once
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "trace file to evaluate (required)")
+		depth   = flag.Int("depth", 1, "MHR depth (1-4)")
+		filter  = flag.Int("filter", 0, "noise filter saturating-counter maximum (0 disables)")
+		sweep   = flag.Bool("sweep", false, "evaluate depths 1-4 instead of a single configuration")
+		arcs    = flag.Bool("arcs", false, "print the dominant transition arcs per side")
+		maxIter = flag.Int("maxiter", 0, "evaluate only the first N application iterations (0 = all)")
+		adapt   = flag.Bool("adapt", false, "print the per-iteration accuracy series")
+		types   = flag.Bool("types", false, "print accuracy broken down by message type")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: app=%s nodes=%d iterations=%d records=%d\n\n",
+		tr.App, tr.Nodes, tr.Iterations, len(tr.Records))
+
+	depths := []int{*depth}
+	if *sweep {
+		depths = []int{1, 2, 3, 4}
+	}
+	fmt.Printf("%-6s %-7s %8s %10s %8s %10s %10s\n",
+		"depth", "filter", "cache", "directory", "overall", "MHR", "PHT")
+	var last *stats.Result
+	for _, d := range depths {
+		res, err := stats.Evaluate(tr, core.Config{Depth: d, FilterMax: *filter},
+			stats.Options{TrackArcs: *arcs, MaxIterations: *maxIter})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-7d %7.1f%% %9.1f%% %7.1f%% %10d %10d\n",
+			d, *filter,
+			100*res.Cache.Accuracy(), 100*res.Dir.Accuracy(), 100*res.Overall.Accuracy(),
+			res.Memory.MHREntries, res.Memory.PHTEntries)
+		last = res
+	}
+
+	if *arcs && last != nil {
+		for _, side := range []trace.Side{trace.CacheSide, trace.DirectorySide} {
+			fmt.Printf("\ndominant arcs at the %s (accuracy / reference share):\n", side)
+			for _, a := range last.DominantArcs(side, 10) {
+				fmt.Printf("  %-22s -> %-22s  %5.1f%% / %5.1f%%  (n=%d)\n",
+					a.Arc.From, a.Arc.To, 100*a.Accuracy(), 100*a.RefShare, a.Total)
+			}
+		}
+	}
+
+	if *types && last != nil {
+		fmt.Println("\naccuracy by message type:")
+		for _, ts := range last.ByType() {
+			fmt.Printf("  %-22s %5.1f%%  (%.1f%% of messages)\n",
+				ts.Type, 100*ts.Accuracy(), 100*ts.Share)
+		}
+	}
+
+	if *adapt && last != nil {
+		fmt.Println("\nper-iteration accuracy (cumulative messages in parentheses):")
+		var cum uint64
+		for i, c := range last.PerIter {
+			cum += c.Total
+			fmt.Printf("  iter %4d: %5.1f%% (%d)\n", i, 100*c.Accuracy(), cum)
+		}
+		fmt.Printf("steady state reached at iteration %d\n", last.SteadyStateIteration(0.01))
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Command cosmos-tables regenerates the tables and figures of the
+// paper's evaluation (Section 6) from scratch: it simulates the five
+// benchmarks on the Table 3 machine under the Stache protocol, runs
+// Cosmos predictor variants over the captured message traces, and
+// prints each table in the paper's layout.
+//
+// Usage:
+//
+//	cosmos-tables                      # everything, full scale
+//	cosmos-tables -table 5             # one table (3,4,5,6,7,8)
+//	cosmos-tables -figure 6            # one figure (5,6,7,8)
+//	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding
+//	cosmos-tables -scale medium        # small | medium | full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table  = flag.Int("table", 0, "render one table (3, 4, 5, 6, 7, or 8); 0 = all")
+		figure = flag.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
+		extra  = flag.String("extra", "", "extra experiment: latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding")
+		scale  = flag.String("scale", "full", "workload scale: small | medium | full")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	sc, ok := experiments.ScaleFor(*scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *table != 0 && (*table < 3 || *table > 8) {
+		return fmt.Errorf("no table %d in the paper's evaluation (want 3-8)", *table)
+	}
+	if *figure != 0 && (*figure < 5 || *figure > 8) {
+		return fmt.Errorf("no figure %d in the paper's evaluation (want 5-8)", *figure)
+	}
+	validExtras := map[string]bool{
+		"": true, "latency": true, "adapt": true, "directed": true, "halfmig": true,
+		"filterdepth": true, "variants": true, "replacement": true, "accelerate": true,
+		"pag": true, "states": true, "forwarding": true,
+	}
+	if !validExtras[*extra] {
+		return fmt.Errorf("unknown extra %q (see -h for the list)", *extra)
+	}
+	cfg.Scale = sc
+	suite := experiments.NewSuite(cfg)
+	w := os.Stdout
+
+	// The table drivers share the five benchmark traces; simulate them
+	// concurrently up front when more than one consumer will need them.
+	if *table == 0 && *figure == 0 && *extra == "" {
+		if err := suite.Prefetch(); err != nil {
+			return err
+		}
+	}
+
+	specific := *table != 0 || *figure != 0 || *extra != ""
+
+	all := !specific
+	wantT := func(n int) bool { return all || *table == n }
+	wantF := func(n int) bool { return all || *figure == n }
+	wantX := func(s string) bool { return all || *extra == s }
+
+	if wantT(3) {
+		report.Table3(w, cfg)
+		fmt.Fprintln(w)
+	}
+	if wantT(4) {
+		report.Table4(w, cfg)
+		fmt.Fprintln(w)
+	}
+	if wantF(5) {
+		fig, err := experiments.RunFigure5()
+		if err != nil {
+			return err
+		}
+		report.Figure5(w, fig)
+		fmt.Fprintln(w)
+	}
+	if wantT(5) {
+		rows, err := experiments.Table5(suite)
+		if err != nil {
+			return err
+		}
+		report.Table5(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantT(6) {
+		rows, err := experiments.Table6(suite)
+		if err != nil {
+			return err
+		}
+		report.Table6(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantT(7) {
+		rows, err := experiments.Table7(suite)
+		if err != nil {
+			return err
+		}
+		report.Table7(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantT(8) {
+		cells, err := experiments.Table8(suite)
+		if err != nil {
+			return err
+		}
+		report.Table8(w, cells)
+		fmt.Fprintln(w)
+	}
+	if wantF(6) || wantF(7) {
+		figApps := map[int][]string{6: {"appbt", "barnes", "dsmc"}, 7: {"moldyn", "unstructured"}}
+		for _, n := range []int{6, 7} {
+			if !wantF(n) {
+				continue
+			}
+			for _, app := range figApps[n] {
+				rows, err := experiments.Figures6and7(suite, app, 8)
+				if err != nil {
+					return err
+				}
+				report.Signatures(w, app, rows)
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	if wantF(8) {
+		res, err := experiments.RunFigure8(cfg)
+		if err != nil {
+			return err
+		}
+		report.Figure8(w, res)
+		fmt.Fprintln(w)
+	}
+	if wantX("latency") {
+		rows, err := experiments.LatencySweep(cfg, []uint64{40, 200, 1000})
+		if err != nil {
+			return err
+		}
+		report.Latency(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("adapt") {
+		rows, err := experiments.TimeToAdapt(suite, 0.025)
+		if err != nil {
+			return err
+		}
+		report.Adapt(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("directed") {
+		rows, err := experiments.DirectedComparison(suite)
+		if err != nil {
+			return err
+		}
+		report.DirectedComparison(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("halfmig") {
+		rows, err := experiments.HalfMigratoryAblation(cfg)
+		if err != nil {
+			return err
+		}
+		report.Ablation(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("variants") {
+		rows, err := experiments.Variants(suite)
+		if err != nil {
+			return err
+		}
+		report.Variants(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("accelerate") {
+		rows, err := experiments.AccelerateBenchmarks(cfg, core.Config{Depth: 1})
+		if err != nil {
+			return err
+		}
+		report.Accelerate(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("replacement") {
+		rows, err := experiments.Replacement(cfg, 256, 2)
+		if err != nil {
+			return err
+		}
+		report.Replacement(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("pag") {
+		rows, err := experiments.PApVsPAg(suite, 1)
+		if err != nil {
+			return err
+		}
+		report.PApVsPAg(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("forwarding") {
+		rows, err := experiments.ForwardingComparison(cfg)
+		if err != nil {
+			return err
+		}
+		report.Forwarding(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("states") {
+		rows, err := experiments.StateEquivalence(cfg)
+		if err != nil {
+			return err
+		}
+		report.StateEquivalence(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("filterdepth") {
+		cells, err := experiments.FilterDepth(suite)
+		if err != nil {
+			return err
+		}
+		report.FilterDepth(w, cells)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

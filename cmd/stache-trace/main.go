@@ -1,0 +1,129 @@
+// Command stache-trace generates, saves, and inspects coherence
+// message traces: the raw material of the paper's methodology
+// (Section 5). Traces are written in the versioned binary format of
+// internal/trace and can be re-read by cosmos-predict.
+//
+// Usage:
+//
+//	stache-trace -app moldyn -scale medium -o moldyn.trace   # simulate & save
+//	stache-trace -in moldyn.trace -dump | head               # dump as text
+//	stache-trace -in moldyn.trace -summary                   # per-type counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stache-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app     = flag.String("app", "", "benchmark to simulate (appbt|barnes|dsmc|moldyn|unstructured)")
+		scale   = flag.String("scale", "medium", "workload scale: small | medium | full")
+		out     = flag.String("o", "", "write the captured trace to this file")
+		in      = flag.String("in", "", "read a previously saved trace instead of simulating")
+		dump    = flag.Bool("dump", false, "dump the trace as text to stdout")
+		summary = flag.Bool("summary", false, "print per-message-type and per-side counts")
+		halfMig = flag.Bool("halfmigratory", true, "enable the Stache half-migratory optimization")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			return err
+		}
+	case *app != "":
+		cfg := experiments.DefaultConfig()
+		sc, ok := experiments.ScaleFor(*scale)
+		if !ok {
+			return fmt.Errorf("unknown scale %q", *scale)
+		}
+		cfg.Scale = sc
+		cfg.Stache.HalfMigratory = *halfMig
+		w, err := workload.ByName(*app, cfg.Machine.Nodes, sc)
+		if err != nil {
+			return err
+		}
+		tr, err = experiments.Run(w, cfg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need either -app (simulate) or -in (load); see -h")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(tr.Records), *out)
+	}
+
+	if *dump {
+		if err := trace.WriteText(os.Stdout, tr); err != nil {
+			return err
+		}
+	}
+
+	if *summary || (!*dump && *out == "") {
+		printSummary(tr)
+	}
+	return nil
+}
+
+func printSummary(tr *trace.Trace) {
+	cache, dir := tr.CountBySide()
+	fmt.Printf("trace: app=%s nodes=%d iterations=%d records=%d (%d cache / %d directory)\n",
+		tr.App, tr.Nodes, tr.Iterations, len(tr.Records), cache, dir)
+
+	counts := map[coherence.MsgType]uint64{}
+	blocks := map[coherence.Addr]bool{}
+	for _, r := range tr.Records {
+		counts[r.Type]++
+		blocks[r.Addr] = true
+	}
+	fmt.Printf("distinct blocks: %d\n", len(blocks))
+
+	type kv struct {
+		t coherence.MsgType
+		n uint64
+	}
+	var rows []kv
+	for t, n := range counts {
+		rows = append(rows, kv{t, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("messages by type:")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %10d (%.1f%%)\n", r.t, r.n, 100*float64(r.n)/float64(len(tr.Records)))
+	}
+}

@@ -1,0 +1,144 @@
+// Package cosmos is a from-scratch reproduction of the system in
+// Mukherjee & Hill, "Using Prediction to Accelerate Coherence
+// Protocols" (ISCA 1998): the Cosmos two-level adaptive coherence
+// message predictor, together with everything needed to evaluate it —
+// a discrete-event 16-node shared-memory machine, the Wisconsin Stache
+// full-map write-invalidate directory protocol, synthetic versions of
+// the paper's five scientific workloads, trace capture, directed
+// predictor baselines, and an experiment harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// This root package is the public facade: it re-exports the predictor
+// and the methodology entry points so that downstream code never
+// imports internal packages.
+//
+// # Predicting coherence messages
+//
+// A Predictor instance corresponds to the prediction hardware sitting
+// beside one cache or directory module. Feed it the module's incoming
+// <sender, message-type> stream per cache block and ask it for the
+// next message:
+//
+//	p := cosmos.MustNewPredictor(cosmos.PredictorConfig{Depth: 2})
+//	p.Update(blockAddr, cosmos.Tuple{Sender: 2, Type: cosmos.GetROReq})
+//	next, ok := p.Predict(blockAddr)
+//
+// # Reproducing the paper
+//
+//	tr, _ := cosmos.SimulateBenchmark("moldyn", cosmos.ScaleFull)
+//	res, _ := cosmos.Evaluate(tr, cosmos.PredictorConfig{Depth: 1}, cosmos.EvalOptions{})
+//	fmt.Println(res.Overall.Accuracy())
+//
+// or run `go run ./cmd/cosmos-tables` to regenerate Tables 3-8 and
+// Figures 5-8 in one go. DESIGN.md maps every subsystem and experiment
+// to its module; EXPERIMENTS.md records paper-vs-measured numbers.
+package cosmos
+
+import (
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// Core predictor types (internal/core).
+type (
+	// Predictor is the Cosmos two-level adaptive coherence message
+	// predictor (Section 3 of the paper).
+	Predictor = core.Predictor
+	// PredictorConfig selects MHR depth and the noise filter maximum.
+	PredictorConfig = core.Config
+	// MemoryStats is the Table 7 MHR/PHT accounting.
+	MemoryStats = core.MemoryStats
+)
+
+// Coherence vocabulary (internal/coherence).
+type (
+	// Tuple is a <sender, message-type> pair.
+	Tuple = coherence.Tuple
+	// MsgType enumerates coherence message types (Table 1).
+	MsgType = coherence.MsgType
+	// NodeID identifies a node/processor.
+	NodeID = coherence.NodeID
+	// Addr is a physical shared-memory address.
+	Addr = coherence.Addr
+)
+
+// Message types re-exported for constructing tuples.
+const (
+	GetROReq      = coherence.GetROReq
+	GetRWReq      = coherence.GetRWReq
+	UpgradeReq    = coherence.UpgradeReq
+	InvalROResp   = coherence.InvalROResp
+	InvalRWResp   = coherence.InvalRWResp
+	DowngradeResp = coherence.DowngradeResp
+	GetROResp     = coherence.GetROResp
+	GetRWResp     = coherence.GetRWResp
+	UpgradeResp   = coherence.UpgradeResp
+	InvalROReq    = coherence.InvalROReq
+	InvalRWReq    = coherence.InvalRWReq
+	DowngradeReq  = coherence.DowngradeReq
+)
+
+// Tracing and evaluation (internal/trace, internal/stats).
+type (
+	// Trace is a captured per-node incoming-message stream.
+	Trace = trace.Trace
+	// TraceRecord is one message reception.
+	TraceRecord = trace.Record
+	// Side distinguishes cache-side from directory-side streams.
+	Side = trace.Side
+	// EvalResult aggregates accuracy, per-arc, per-iteration and
+	// memory metrics for one predictor configuration over one trace.
+	EvalResult = stats.Result
+	// EvalOptions tunes an evaluation.
+	EvalOptions = stats.Options
+)
+
+// Sides re-exported.
+const (
+	CacheSide     = trace.CacheSide
+	DirectorySide = trace.DirectorySide
+)
+
+// Workload scales re-exported.
+const (
+	ScaleSmall  = workload.ScaleSmall
+	ScaleMedium = workload.ScaleMedium
+	ScaleFull   = workload.ScaleFull
+)
+
+// Scale selects workload sizes.
+type Scale = workload.Scale
+
+// NewPredictor creates a Cosmos predictor.
+func NewPredictor(cfg PredictorConfig) (*Predictor, error) { return core.New(cfg) }
+
+// MustNewPredictor is NewPredictor for constant configurations.
+func MustNewPredictor(cfg PredictorConfig) *Predictor { return core.MustNew(cfg) }
+
+// Benchmarks returns the five paper benchmark names in table order.
+func Benchmarks() []string {
+	return experiments.NewSuite(experiments.DefaultConfig()).Apps()
+}
+
+// SimulateBenchmark runs one of the paper's five benchmarks (by name)
+// on the Table 3 machine under the Stache protocol and returns the
+// captured coherence message trace.
+func SimulateBenchmark(name string, scale Scale) (*Trace, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	app, err := workload.ByName(name, cfg.Machine.Nodes, scale)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Run(app, cfg)
+}
+
+// Evaluate runs one Cosmos predictor per node and side over a trace
+// and returns the paper's accuracy metrics.
+func Evaluate(tr *Trace, cfg PredictorConfig, opts EvalOptions) (*EvalResult, error) {
+	return stats.Evaluate(tr, cfg, opts)
+}

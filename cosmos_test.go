@@ -1,0 +1,70 @@
+package cosmos_test
+
+import (
+	"testing"
+
+	cosmos "github.com/cosmos-coherence/cosmos"
+)
+
+// TestFacadePredictor exercises the public API exactly as the package
+// documentation shows it.
+func TestFacadePredictor(t *testing.T) {
+	p := cosmos.MustNewPredictor(cosmos.PredictorConfig{Depth: 2})
+	const blk = cosmos.Addr(0x4000)
+	seq := []cosmos.Tuple{
+		{Sender: 1, Type: cosmos.GetRWReq},
+		{Sender: 2, Type: cosmos.InvalROResp},
+		{Sender: 2, Type: cosmos.GetROReq},
+		{Sender: 1, Type: cosmos.InvalRWResp},
+	}
+	for round := 0; round < 3; round++ {
+		for _, tu := range seq {
+			p.Update(blk, tu)
+		}
+	}
+	next, ok := p.Predict(blk)
+	if !ok || next != seq[0] {
+		t.Fatalf("Predict = %v, %v; want %v", next, ok, seq[0])
+	}
+	if _, err := cosmos.NewPredictor(cosmos.PredictorConfig{Depth: 99}); err == nil {
+		t.Error("NewPredictor accepted bad depth")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := cosmos.Benchmarks()
+	if len(names) != 5 || names[0] != "appbt" || names[4] != "unstructured" {
+		t.Fatalf("Benchmarks() = %v", names)
+	}
+}
+
+// TestFacadeEndToEnd runs the whole published pipeline at small scale:
+// simulate, capture, evaluate.
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := cosmos.SimulateBenchmark("dsmc", cosmos.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("empty trace")
+	}
+	res, err := cosmos.Evaluate(tr, cosmos.PredictorConfig{Depth: 1}, cosmos.EvalOptions{TrackArcs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Total == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	if acc := res.Overall.Accuracy(); acc <= 0 || acc > 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if res.Memory.MHREntries == 0 {
+		t.Error("no memory accounted")
+	}
+	if len(res.DominantArcs(cosmos.DirectorySide, 3)) == 0 {
+		t.Error("no directory arcs")
+	}
+	if _, err := cosmos.SimulateBenchmark("nope", cosmos.ScaleSmall); err == nil {
+		t.Error("SimulateBenchmark accepted unknown name")
+	}
+}

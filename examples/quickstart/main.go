@@ -1,0 +1,65 @@
+// Quickstart: drive the Cosmos predictor by hand on the paper's own
+// worked example (Figures 2 and 3).
+//
+// A producer (P1) and a consumer (P2) share a counter. The directory
+// for the counter's cache block receives a repeating four-message
+// signature; after one round of training, a depth-1 Cosmos predicts
+// every message in the loop, exactly as Figure 3 illustrates.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+)
+
+func main() {
+	predictor := core.MustNew(core.Config{Depth: 1})
+
+	// The block holding shared_counter.
+	const counter = coherence.Addr(0x4000)
+
+	// Figure 2's producer-consumer signature, as received by the
+	// directory: the producer asks for the block read-write, the
+	// consumer's stale copy is invalidated and acknowledged, the
+	// consumer re-reads, and the producer's exclusive copy is fetched
+	// back (half-migratory Stache).
+	signature := []coherence.Tuple{
+		{Sender: 1, Type: coherence.GetRWReq},    // producer write miss
+		{Sender: 2, Type: coherence.InvalROResp}, // consumer ack
+		{Sender: 2, Type: coherence.GetROReq},    // consumer read miss
+		{Sender: 1, Type: coherence.InvalRWResp}, // producer gives block back
+	}
+
+	fmt.Println("training and predicting over Figure 2's directory signature:")
+	hits, total := 0, 0
+	for round := 0; round < 4; round++ {
+		fmt.Printf("-- round %d\n", round+1)
+		for _, actual := range signature {
+			pred, predicted, correct := predictor.Observe(counter, actual)
+			total++
+			switch {
+			case !predicted:
+				fmt.Printf("   %-28s predicted: (no prediction yet)\n", actual)
+			case correct:
+				hits++
+				fmt.Printf("   %-28s predicted: %-28s HIT\n", actual, pred)
+			default:
+				fmt.Printf("   %-28s predicted: %-28s miss\n", actual, pred)
+			}
+		}
+	}
+	fmt.Printf("\noverall: %d/%d correct (%.0f%%)\n", hits, total, 100*float64(hits)/float64(total))
+
+	// The Figure 3 lookup: after a get_ro_request from P2 the
+	// predictor names the producer's inval_rw_response next.
+	predictor.Update(counter, signature[0])
+	predictor.Update(counter, signature[1])
+	predictor.Update(counter, signature[2])
+	next, ok := predictor.Predict(counter)
+	fmt.Printf("\nafter %v, Cosmos predicts next: %v (have prediction: %v)\n", signature[2], next, ok)
+	fmt.Printf("MHR contents: %v\n", predictor.History(counter))
+}

@@ -1,0 +1,3 @@
+module github.com/cosmos-coherence/cosmos
+
+go 1.22

@@ -1,0 +1,86 @@
+package coherence
+
+import "fmt"
+
+// Addr is a physical address in the simulated machine's shared address
+// space. Addresses are plain byte addresses; geometry (block and page
+// sizes) lives in Geometry so different experiments can vary it.
+type Addr uint64
+
+// Geometry captures the block/page structure of the simulated memory
+// system. Both sizes must be powers of two; NewGeometry enforces this.
+//
+// The defaults used throughout the reproduction mirror Table 3:
+// 64-byte cache blocks and 4 KiB pages homed round-robin across nodes.
+type Geometry struct {
+	blockSize uint64
+	pageSize  uint64
+	blockMask uint64
+	pageMask  uint64
+	nodes     int
+}
+
+// NewGeometry builds a Geometry. blockSize and pageSize must be powers
+// of two with blockSize <= pageSize, and nodes must be positive.
+func NewGeometry(blockSize, pageSize uint64, nodes int) (Geometry, error) {
+	switch {
+	case blockSize == 0 || blockSize&(blockSize-1) != 0:
+		return Geometry{}, fmt.Errorf("coherence: block size %d is not a power of two", blockSize)
+	case pageSize == 0 || pageSize&(pageSize-1) != 0:
+		return Geometry{}, fmt.Errorf("coherence: page size %d is not a power of two", pageSize)
+	case blockSize > pageSize:
+		return Geometry{}, fmt.Errorf("coherence: block size %d exceeds page size %d", blockSize, pageSize)
+	case nodes <= 0:
+		return Geometry{}, fmt.Errorf("coherence: node count %d must be positive", nodes)
+	}
+	return Geometry{
+		blockSize: blockSize,
+		pageSize:  pageSize,
+		blockMask: ^(blockSize - 1),
+		pageMask:  ^(pageSize - 1),
+		nodes:     nodes,
+	}, nil
+}
+
+// MustGeometry is NewGeometry but panics on invalid input; for use in
+// tests and package-level defaults where the input is constant.
+func MustGeometry(blockSize, pageSize uint64, nodes int) Geometry {
+	g, err := NewGeometry(blockSize, pageSize, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BlockSize returns the cache block size in bytes.
+func (g Geometry) BlockSize() uint64 { return g.blockSize }
+
+// PageSize returns the page size in bytes.
+func (g Geometry) PageSize() uint64 { return g.pageSize }
+
+// Nodes returns the number of nodes pages are homed across.
+func (g Geometry) Nodes() int { return g.nodes }
+
+// Block returns the block-aligned address containing a.
+func (g Geometry) Block(a Addr) Addr { return Addr(uint64(a) & g.blockMask) }
+
+// Page returns the page-aligned address containing a.
+func (g Geometry) Page(a Addr) Addr { return Addr(uint64(a) & g.pageMask) }
+
+// PageNumber returns the index of the page containing a.
+func (g Geometry) PageNumber(a Addr) uint64 { return uint64(a) / g.pageSize }
+
+// BlocksPerPage returns how many cache blocks fit in one page.
+func (g Geometry) BlocksPerPage() uint64 { return g.pageSize / g.blockSize }
+
+// Home returns the node that owns the directory entry for address a.
+// Stache allocates pages round-robin across the nodes (Section 5.1):
+// page X lives on node X mod N, page X+1 on the next node.
+func (g Geometry) Home(a Addr) NodeID {
+	return NodeID(g.PageNumber(a) % uint64(g.nodes))
+}
+
+// BlockIndex returns the global index of the block containing a, i.e.
+// the block-aligned address divided by the block size. Useful as a
+// dense table key.
+func (g Geometry) BlockIndex(a Addr) uint64 { return uint64(a) / g.blockSize }

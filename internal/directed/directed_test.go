@@ -1,0 +1,189 @@
+package directed
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+)
+
+// Cosmos must satisfy the comparison interface.
+var _ MessagePredictor = (*core.Predictor)(nil)
+var _ MessagePredictor = (*LastTuple)(nil)
+var _ MessagePredictor = (*MostCommon)(nil)
+var _ MessagePredictor = (*Migratory)(nil)
+var _ MessagePredictor = (*SelfInvalidation)(nil)
+
+func tup(s int, t coherence.MsgType) coherence.Tuple {
+	return coherence.Tuple{Sender: coherence.NodeID(s), Type: t}
+}
+
+func TestLastTuple(t *testing.T) {
+	p := NewLastTuple()
+	const a = coherence.Addr(0x40)
+	if _, predicted, _ := p.Observe(a, tup(1, coherence.GetROReq)); predicted {
+		t.Error("cold block predicted")
+	}
+	_, predicted, correct := p.Observe(a, tup(1, coherence.GetROReq))
+	if !predicted || !correct {
+		t.Error("repeat not predicted")
+	}
+	_, predicted, correct = p.Observe(a, tup(2, coherence.GetROReq))
+	if !predicted || correct {
+		t.Error("change should predict wrongly")
+	}
+}
+
+func TestMostCommon(t *testing.T) {
+	p := NewMostCommon()
+	const a = coherence.Addr(0x40)
+	x, y := tup(1, coherence.GetROReq), tup(2, coherence.GetRWReq)
+	p.Observe(a, x)
+	p.Observe(a, x)
+	p.Observe(a, y)
+	// x has been seen twice, y once: predict x.
+	if pred, predicted, correct := p.Observe(a, x); !predicted || !correct || pred != x {
+		t.Errorf("Observe = %v,%v,%v", pred, predicted, correct)
+	}
+	// y twice, x three times: still x.
+	if pred, _, _ := p.Observe(a, y); pred != x {
+		t.Errorf("pred = %v, want %v", pred, x)
+	}
+}
+
+// feedMigratory feeds one migration round: X reads (fetching from
+// owner W), then X upgrades.
+func feedMigratory(p *Migratory, addr coherence.Addr, x, w int) (hits, preds int) {
+	seq := []coherence.Tuple{tup(x, coherence.GetROReq)}
+	if w >= 0 {
+		seq = append(seq, tup(w, coherence.InvalRWResp))
+	}
+	seq = append(seq, tup(x, coherence.UpgradeReq))
+	for _, tu := range seq {
+		_, predicted, correct := p.Observe(addr, tu)
+		if predicted {
+			preds++
+		}
+		if correct {
+			hits++
+		}
+	}
+	return hits, preds
+}
+
+func TestMigratoryDetectsAndPredicts(t *testing.T) {
+	p := NewMigratory()
+	const a = coherence.Addr(0x80)
+	// Round 1: P1 takes the block (no previous owner).
+	feedMigratory(p, a, 1, -1)
+	// Round 2: P2 migrates it from P1 -> first migration.
+	feedMigratory(p, a, 2, 1)
+	// Round 3: P3 migrates -> second migration, classified.
+	feedMigratory(p, a, 3, 2)
+	if p.ClassifiedBlocks() != 1 {
+		t.Fatalf("ClassifiedBlocks = %d, want 1", p.ClassifiedBlocks())
+	}
+	// Round 4: classified; both implied predictions must hit.
+	hits, preds := feedMigratory(p, a, 4, 3)
+	if preds != 2 || hits != 2 {
+		t.Errorf("round 4: %d/%d predictions correct, want 2/2", hits, preds)
+	}
+}
+
+func TestMigratoryDemotesOnWriteMiss(t *testing.T) {
+	p := NewMigratory()
+	const a = coherence.Addr(0x80)
+	feedMigratory(p, a, 1, -1)
+	feedMigratory(p, a, 2, 1)
+	feedMigratory(p, a, 3, 2)
+	if p.ClassifiedBlocks() != 1 {
+		t.Fatal("not classified")
+	}
+	// A write miss (producer-consumer behaviour) demotes the block.
+	p.Observe(a, tup(5, coherence.GetRWReq))
+	if p.ClassifiedBlocks() != 0 {
+		t.Error("block still classified after get_rw_request")
+	}
+}
+
+func TestMigratoryIgnoresNonMigratoryBlocks(t *testing.T) {
+	p := NewMigratory()
+	const a = coherence.Addr(0xc0)
+	// Pure read sharing: never classify, never predict.
+	preds := 0
+	for i := 0; i < 20; i++ {
+		_, predicted, _ := p.Observe(a, tup(i%4, coherence.GetROReq))
+		if predicted {
+			preds++
+		}
+	}
+	if preds != 0 || p.ClassifiedBlocks() != 0 {
+		t.Errorf("preds=%d classified=%d on read-only block", preds, p.ClassifiedBlocks())
+	}
+}
+
+func TestSelfInvalidationDetectsAndPredicts(t *testing.T) {
+	p := NewSelfInvalidation()
+	const a = coherence.Addr(0x100)
+	home := 3
+	cycle := []coherence.Tuple{
+		tup(home, coherence.GetRWResp),
+		tup(home, coherence.InvalRWReq),
+	}
+	// Two cycles to classify.
+	for i := 0; i < 2; i++ {
+		for _, tu := range cycle {
+			p.Observe(a, tu)
+		}
+	}
+	if p.ClassifiedBlocks() != 1 {
+		t.Fatalf("ClassifiedBlocks = %d, want 1", p.ClassifiedBlocks())
+	}
+	// Third cycle: both transitions predicted.
+	hits := 0
+	for _, tu := range cycle {
+		if _, _, correct := p.Observe(a, tu); correct {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+func TestSelfInvalidationTracksProtocolVariant(t *testing.T) {
+	// With downgrades instead of invalidations (non-half-migratory),
+	// the implied prediction follows suit.
+	p := NewSelfInvalidation()
+	const a = coherence.Addr(0x140)
+	cycle := []coherence.Tuple{
+		tup(0, coherence.GetROResp),
+		tup(0, coherence.DowngradeReq),
+	}
+	for i := 0; i < 2; i++ {
+		for _, tu := range cycle {
+			p.Observe(a, tu)
+		}
+	}
+	pred, predicted, correct := p.Observe(a, cycle[0])
+	if !predicted || !correct {
+		t.Errorf("response not predicted: %v %v %v", pred, predicted, correct)
+	}
+	pred, predicted, correct = p.Observe(a, cycle[1])
+	if !predicted || !correct || pred.Type != coherence.DowngradeReq {
+		t.Errorf("downgrade not predicted: %v %v %v", pred, predicted, correct)
+	}
+}
+
+func TestSelfInvalidationNoPredictionOnStableBlocks(t *testing.T) {
+	p := NewSelfInvalidation()
+	const a = coherence.Addr(0x180)
+	// One fetch, then silence-like repeated responses (no invals):
+	// never classified.
+	for i := 0; i < 10; i++ {
+		p.Observe(a, tup(0, coherence.GetROResp))
+	}
+	if p.ClassifiedBlocks() != 0 {
+		t.Error("classified a never-invalidated block")
+	}
+}

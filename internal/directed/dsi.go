@@ -1,0 +1,101 @@
+package directed
+
+import "github.com/cosmos-coherence/cosmos/internal/coherence"
+
+// SelfInvalidation is the cache-side dynamic self-invalidation
+// predictor of Lebeck & Wood, cast as a message predictor. It watches
+// a cache's incoming stream for the Figure 8a signature: a block that
+// is repeatedly fetched and then invalidated from outside. After
+// cycleThreshold fetch->invalidate cycles the block is classified as a
+// self-invalidation candidate (the directed action would be to return
+// it to the directory before the invalidation arrives).
+//
+// As a message predictor it implies, for a classified block:
+//
+//   - after a data response arrives, the next incoming message will be
+//     the same kind of invalidation as in previous cycles;
+//   - after an invalidation, the next will be the same kind of data
+//     response (the processor will re-fetch).
+//
+// Under Stache a cache page's messages all come from one home
+// directory, so the sender is pinned after the first message.
+type SelfInvalidation struct {
+	blocks map[coherence.Addr]*dsiState
+}
+
+// cycleThreshold is how many fetch->invalidate rounds classify a block.
+const cycleThreshold = 2
+
+type dsiState struct {
+	classified bool
+	cycles     int
+	home       coherence.NodeID
+	// lastResp / lastInval remember the concrete message types seen so
+	// the implied predictions track the protocol variant in use.
+	lastResp  coherence.MsgType
+	lastInval coherence.MsgType
+	// prevWasResp marks that the previous message was a data response,
+	// so an invalidation now completes a cycle.
+	prevWasResp bool
+	pred        coherence.Tuple
+	hasPred     bool
+}
+
+// NewSelfInvalidation creates the detector.
+func NewSelfInvalidation() *SelfInvalidation {
+	return &SelfInvalidation{blocks: make(map[coherence.Addr]*dsiState)}
+}
+
+// ClassifiedBlocks returns how many blocks are currently classified
+// for self-invalidation.
+func (d *SelfInvalidation) ClassifiedBlocks() int {
+	n := 0
+	for _, s := range d.blocks {
+		if s.classified {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe implements MessagePredictor. It must be fed a cache's
+// incoming message stream.
+func (d *SelfInvalidation) Observe(addr coherence.Addr, actual coherence.Tuple) (coherence.Tuple, bool, bool) {
+	s := d.blocks[addr]
+	if s == nil {
+		s = &dsiState{home: actual.Sender}
+		d.blocks[addr] = s
+	}
+
+	pred, predicted := s.pred, s.hasPred
+	correct := predicted && pred == actual
+	s.hasPred = false
+
+	switch actual.Type {
+	case coherence.GetROResp, coherence.GetRWResp, coherence.UpgradeResp:
+		s.lastResp = actual.Type
+		s.prevWasResp = true
+		if s.classified && s.lastInval.Valid() {
+			s.pred = coherence.Tuple{Sender: s.home, Type: s.lastInval}
+			s.hasPred = true
+		}
+
+	case coherence.InvalROReq, coherence.InvalRWReq, coherence.DowngradeReq:
+		if s.prevWasResp {
+			s.cycles++
+			if s.cycles >= cycleThreshold {
+				s.classified = true
+			}
+		}
+		s.lastInval = actual.Type
+		s.prevWasResp = false
+		if s.classified && s.lastResp.Valid() {
+			s.pred = coherence.Tuple{Sender: s.home, Type: s.lastResp}
+			s.hasPred = true
+		}
+
+	default:
+		s.prevWasResp = false
+	}
+	return pred, predicted, correct
+}

@@ -1,0 +1,127 @@
+package directed
+
+import "github.com/cosmos-coherence/cosmos/internal/coherence"
+
+// Migratory is the directory-side migratory-sharing detector of
+// Cox & Fowler and Stenström et al., cast as a message predictor. It
+// watches a block's request stream for the Figure 8b signature —
+// get_ro_request(X) followed by upgrade_request(X), with X changing
+// from round to round — and classifies the block migratory after
+// migrateThreshold distinct migrations.
+//
+// Once a block is classified, the detector implies two predictions per
+// migration round:
+//
+//   - after get_ro_request(X) while W owns the block exclusively, the
+//     owner's data will come back: <W, inval_rw_response>;
+//   - after that inval_rw_response, the reader will want ownership:
+//     <X, upgrade_request> (this is the prediction the directed
+//     optimization acts on by granting exclusive ownership directly).
+//
+// It never predicts who migrates the block next — that is exactly the
+// application-specific information a directed predictor lacks and
+// Cosmos learns (Section 7).
+type Migratory struct {
+	blocks map[coherence.Addr]*migState
+}
+
+// migrateThreshold is how many observed migrations classify a block.
+const migrateThreshold = 2
+
+type migState struct {
+	classified   bool
+	migrations   int
+	owner        coherence.NodeID // current exclusive owner, if known
+	lastUpgrader coherence.NodeID
+	reader       coherence.NodeID // proc whose get_ro_request is pending
+	hasReader    bool
+	// pred is the tuple implied for the *next* message, if any.
+	pred    coherence.Tuple
+	hasPred bool
+}
+
+// NewMigratory creates the detector.
+func NewMigratory() *Migratory {
+	return &Migratory{blocks: make(map[coherence.Addr]*migState)}
+}
+
+// ClassifiedBlocks returns how many blocks are currently classified
+// migratory.
+func (m *Migratory) ClassifiedBlocks() int {
+	n := 0
+	for _, s := range m.blocks {
+		if s.classified {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe implements MessagePredictor. It must be fed a directory's
+// incoming message stream.
+func (m *Migratory) Observe(addr coherence.Addr, actual coherence.Tuple) (coherence.Tuple, bool, bool) {
+	s := m.blocks[addr]
+	if s == nil {
+		s = &migState{owner: coherence.NoNode, lastUpgrader: coherence.NoNode}
+		m.blocks[addr] = s
+	}
+
+	pred, predicted := s.pred, s.hasPred
+	correct := predicted && pred == actual
+	s.hasPred = false
+
+	// Update detection state and derive the next implied prediction.
+	switch actual.Type {
+	case coherence.GetROReq:
+		s.reader, s.hasReader = actual.Sender, true
+		if s.classified && s.owner != coherence.NoNode && s.owner != actual.Sender {
+			s.pred = coherence.Tuple{Sender: s.owner, Type: coherence.InvalRWResp}
+			s.hasPred = true
+		}
+
+	case coherence.InvalRWResp:
+		if actual.Sender == s.owner {
+			s.owner = coherence.NoNode
+		}
+		if s.classified && s.hasReader {
+			s.pred = coherence.Tuple{Sender: s.reader, Type: coherence.UpgradeReq}
+			s.hasPred = true
+		}
+
+	case coherence.UpgradeReq:
+		// A migration is a read followed by an upgrade from the same
+		// processor, different from the previous upgrader.
+		if s.hasReader && s.reader == actual.Sender {
+			if s.lastUpgrader != coherence.NoNode && s.lastUpgrader != actual.Sender {
+				s.migrations++
+				if s.migrations >= migrateThreshold {
+					s.classified = true
+				}
+			}
+		} else {
+			// Upgrade without a matching read: not migratory behaviour.
+			m.demote(s)
+		}
+		s.lastUpgrader = actual.Sender
+		s.owner = actual.Sender
+		s.hasReader = false
+
+	case coherence.GetRWReq:
+		// Write misses mean the pattern is producer-consumer-like, not
+		// read-modify-write migration.
+		m.demote(s)
+		s.owner = actual.Sender
+		s.hasReader = false
+
+	case coherence.InvalROResp, coherence.DowngradeResp, coherence.WritebackReq:
+		// Neutral bookkeeping traffic for this detector.
+
+	default:
+	}
+	return pred, predicted, correct
+}
+
+func (m *Migratory) demote(s *migState) {
+	s.classified = false
+	s.migrations = 0
+}

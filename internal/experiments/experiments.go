@@ -1,0 +1,146 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 6), shared by the cmd/ binaries and the
+// benchmark harness. Each driver returns plain result structs; the
+// report package renders them.
+//
+// The methodology mirrors Section 5: each benchmark is simulated once
+// on the Table 3 machine running the Stache protocol, the per-node
+// incoming coherence message traces are captured, and predictor
+// variants are evaluated over the captured traces.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// maxSimEvents bounds any single simulation; hitting it means livelock.
+const maxSimEvents = 2_000_000_000
+
+// Config selects the machine and workload scale for a run of the
+// experiment suite.
+type Config struct {
+	Scale   workload.Scale
+	Machine sim.Config
+	Stache  stache.Options
+}
+
+// DefaultConfig is the paper's setup: Table 3 machine, half-migratory
+// Stache, full-scale workloads.
+func DefaultConfig() Config {
+	return Config{
+		Scale:   workload.ScaleFull,
+		Machine: sim.DefaultConfig(),
+		Stache:  stache.DefaultOptions(),
+	}
+}
+
+// Run simulates one app and captures its trace.
+func Run(app workload.App, cfg Config) (*trace.Trace, error) {
+	m, err := machine.New(cfg.Machine, cfg.Stache, app)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building machine for %s: %w", app.Name(), err)
+	}
+	rec := trace.NewRecorder(app.Name(), cfg.Machine.Nodes, app.PhasesPerIteration(), 0)
+	m.AddObserver(rec)
+	if err := m.Run(maxSimEvents); err != nil {
+		return nil, fmt.Errorf("experiments: simulating %s: %w", app.Name(), err)
+	}
+	return rec.Trace(), nil
+}
+
+// Suite lazily generates and memoizes the five benchmark traces for a
+// configuration, so the table drivers share one simulation per app.
+type Suite struct {
+	cfg    Config
+	traces map[string]*trace.Trace
+}
+
+// NewSuite creates an empty suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg, traces: make(map[string]*trace.Trace)}
+}
+
+// Config returns the suite's configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Apps returns the benchmark names in table order.
+func (s *Suite) Apps() []string {
+	return []string{"appbt", "barnes", "dsmc", "moldyn", "unstructured"}
+}
+
+// Prefetch simulates every benchmark concurrently and memoizes the
+// traces. The machines are independent single-threaded simulators, so
+// this cuts a full-suite run's wall time by roughly the benchmark
+// count. Subsequent Trace calls hit the cache.
+func (s *Suite) Prefetch() error {
+	type result struct {
+		name string
+		tr   *trace.Trace
+		err  error
+	}
+	names := s.Apps()
+	ch := make(chan result, len(names))
+	started := 0
+	for _, name := range names {
+		if _, ok := s.traces[name]; ok {
+			continue
+		}
+		started++
+		go func(name string) {
+			app, err := workload.ByName(name, s.cfg.Machine.Nodes, s.cfg.Scale)
+			if err != nil {
+				ch <- result{name: name, err: err}
+				return
+			}
+			tr, err := Run(app, s.cfg)
+			ch <- result{name: name, tr: tr, err: err}
+		}(name)
+	}
+	var firstErr error
+	for i := 0; i < started; i++ {
+		r := <-ch
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: prefetching %s: %w", r.name, r.err)
+			}
+			continue
+		}
+		s.traces[r.name] = r.tr
+	}
+	return firstErr
+}
+
+// Trace returns the memoized trace for a benchmark, simulating on
+// first use.
+func (s *Suite) Trace(name string) (*trace.Trace, error) {
+	if tr, ok := s.traces[name]; ok {
+		return tr, nil
+	}
+	app, err := workload.ByName(name, s.cfg.Machine.Nodes, s.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := Run(app, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.traces[name] = tr
+	return tr, nil
+}
+
+// Evaluate runs a predictor configuration over a benchmark's trace.
+func (s *Suite) Evaluate(name string, pcfg core.Config, opts stats.Options) (*stats.Result, error) {
+	tr, err := s.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Evaluate(tr, pcfg, opts)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+)
+
+// Table5Row is one (depth, app) cell group of Table 5: prediction
+// rates at the caches, at the directories, and overall, in percent.
+type Table5Row struct {
+	App     string
+	Depth   int
+	Cache   float64
+	Dir     float64
+	Overall float64
+}
+
+// Table5 reproduces Table 5: Cosmos prediction rates (no filter) for
+// MHR depths 1-4 across the five benchmarks.
+func Table5(s *Suite) ([]Table5Row, error) {
+	var rows []Table5Row
+	for depth := 1; depth <= 4; depth++ {
+		for _, app := range s.Apps() {
+			res, err := s.Evaluate(app, core.Config{Depth: depth}, stats.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table5Row{
+				App:     app,
+				Depth:   depth,
+				Cache:   100 * res.Cache.Accuracy(),
+				Dir:     100 * res.Dir.Accuracy(),
+				Overall: 100 * res.Overall.Accuracy(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table6Row is one (depth, app, filter) cell of Table 6: overall
+// prediction rate with a saturating-counter noise filter of the given
+// maximum count.
+type Table6Row struct {
+	App       string
+	Depth     int
+	FilterMax int
+	Overall   float64
+}
+
+// Table6 reproduces Table 6: the effect of noise filters (maximum
+// count 0, 1, 2) on overall accuracy for MHR depths 1 and 2.
+func Table6(s *Suite) ([]Table6Row, error) {
+	var rows []Table6Row
+	for depth := 1; depth <= 2; depth++ {
+		for _, app := range s.Apps() {
+			for _, fmax := range []int{0, 1, 2} {
+				res, err := s.Evaluate(app, core.Config{Depth: depth, FilterMax: fmax}, stats.Options{})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table6Row{
+					App:       app,
+					Depth:     depth,
+					FilterMax: fmax,
+					Overall:   100 * res.Overall.Accuracy(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table7Row is one (depth, app) cell pair of Table 7: the PHT/MHR
+// entry ratio and the average per-block memory overhead percentage.
+type Table7Row struct {
+	App      string
+	Depth    int
+	Ratio    float64
+	Overhead float64
+}
+
+// Table7BlockBytes is the cache block size Table 7 normalizes against.
+const Table7BlockBytes = 128
+
+// Table7 reproduces Table 7: memory overhead of filterless Cosmos
+// predictors for MHR depths 1-4.
+func Table7(s *Suite) ([]Table7Row, error) {
+	var rows []Table7Row
+	for depth := 1; depth <= 4; depth++ {
+		for _, app := range s.Apps() {
+			res, err := s.Evaluate(app, core.Config{Depth: depth}, stats.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table7Row{
+				App:      app,
+				Depth:    depth,
+				Ratio:    res.Memory.Ratio(),
+				Overhead: res.Memory.Overhead(depth, Table7BlockBytes),
+			})
+		}
+	}
+	return rows, nil
+}

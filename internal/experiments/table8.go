@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+// Table8Transitions are the three dsmc transitions Table 8 follows
+// while the application converges. The first is a cache-side arc (data
+// response followed by an upgrade response: contended read-then-write
+// on a shared buffer); the other two are directory-side arcs of the
+// same contention plus the producer-consumer loop.
+var Table8Transitions = []stats.Arc{
+	{Side: trace.CacheSide, From: coherence.GetROResp, To: coherence.UpgradeResp},
+	{Side: trace.DirectorySide, From: coherence.GetROReq, To: coherence.InvalRWResp},
+	{Side: trace.DirectorySide, From: coherence.InvalRWResp, To: coherence.UpgradeReq},
+}
+
+// Table8Iterations are the run lengths the paper samples.
+var Table8Iterations = []int{4, 80, 320}
+
+// Table8Cell is one (transition, run length) measurement.
+type Table8Cell struct {
+	Arc        stats.Arc
+	Iterations int
+	// HitPct is the percentage of correct predictions on the arc; the
+	// paper's "hits".
+	HitPct float64
+	// RefPct is the arc's share of all references on its side; the
+	// paper's "refs".
+	RefPct float64
+}
+
+// Table8 reproduces Table 8: dsmc's prediction accuracy for specific
+// transitions after 4, 80 and 320 iterations (filterless, MHR depth 1).
+func Table8(s *Suite) ([]Table8Cell, error) {
+	var cells []Table8Cell
+	for _, iters := range Table8Iterations {
+		res, err := s.Evaluate("dsmc", core.Config{Depth: 1},
+			stats.Options{TrackArcs: true, MaxIterations: iters})
+		if err != nil {
+			return nil, err
+		}
+		for _, arc := range Table8Transitions {
+			st, _ := res.ArcStatFor(arc)
+			cells = append(cells, Table8Cell{
+				Arc:        arc,
+				Iterations: iters,
+				HitPct:     100 * st.Accuracy(),
+				RefPct:     100 * st.RefShare,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// AdaptRow is one benchmark's time-to-adapt measurement (Section 6.2):
+// the iteration at which cumulative-tail accuracy reaches steady state.
+type AdaptRow struct {
+	App             string
+	SteadyIteration int
+	Iterations      int
+	FinalAccuracy   float64
+}
+
+// TimeToAdapt reproduces the Section 6.2 adaptation analysis: barnes
+// and unstructured settle in tens of iterations, appbt and moldyn take
+// slightly longer, and dsmc needs hundreds.
+func TimeToAdapt(s *Suite, tolerance float64) ([]AdaptRow, error) {
+	var rows []AdaptRow
+	for _, app := range s.Apps() {
+		res, err := s.Evaluate(app, core.Config{Depth: 1}, stats.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AdaptRow{
+			App:             app,
+			SteadyIteration: res.SteadyStateIteration(tolerance),
+			Iterations:      len(res.PerIter),
+			FinalAccuracy:   100 * res.Overall.Accuracy(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+// VariantRow is one cell of the predictor-variant ablation: the
+// Section 7 macroblock-grouping idea and the footnote-2
+// sender-agnostic-history idea, traded against plain Cosmos.
+type VariantRow struct {
+	App string
+	// Group is the macroblock size in blocks (1 = plain Cosmos).
+	Group int
+	// SenderAgnostic marks the stripped-history variant.
+	SenderAgnostic bool
+	Overall        float64
+	// MHREntries and PHTEntries aggregate predictor memory across all
+	// nodes and sides, showing the grouping's state savings.
+	MHREntries uint64
+	PHTEntries uint64
+}
+
+// Variants evaluates the macroblock sizes and the sender-agnostic
+// variant over every benchmark at MHR depth 1. The measured shape
+// quantifies the cost of the Section 7 idea when implemented naively
+// (one merged history per macroblock): MHR state shrinks by the group
+// factor, but interleaving neighbouring blocks' messages into one
+// history register fragments their patterns and accuracy drops
+// sharply — worst at small groups, partially recovering at large ones,
+// where sweep-ordered workloads touch a macroblock many times in a row
+// and the merged stream becomes regular again. A production macroblock
+// predictor would need per-block sub-histories with shared PHT
+// storage, exactly the refinement the paper leaves open. The
+// sender-agnostic variant likewise trades accuracy on multi-sharer
+// blocks for a smaller pattern space.
+func Variants(s *Suite) ([]VariantRow, error) {
+	blockBytes := s.cfg.Machine.CacheBlockBytes
+	configs := []struct {
+		group          int
+		senderAgnostic bool
+	}{
+		{1, false}, {2, false}, {4, false}, {8, false}, {1, true},
+	}
+	var rows []VariantRow
+	for _, app := range s.Apps() {
+		tr, err := s.Trace(app)
+		if err != nil {
+			return nil, err
+		}
+		for _, vc := range configs {
+			cfg := core.MacroConfig{
+				Base:                  core.Config{Depth: 1},
+				BlockGroup:            vc.group,
+				BlockBytes:            blockBytes,
+				SenderAgnosticHistory: vc.senderAgnostic,
+			}
+			row, err := evalVariant(tr, app, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// evalVariant runs one MacroPredictor per node and side over a trace.
+func evalVariant(tr *trace.Trace, app string, cfg core.MacroConfig) (VariantRow, error) {
+	preds := make([]*core.MacroPredictor, 2*tr.Nodes)
+	for i := range preds {
+		p, err := core.NewMacro(cfg)
+		if err != nil {
+			return VariantRow{}, err
+		}
+		preds[i] = p
+	}
+	var total, hits uint64
+	for _, rec := range tr.Records {
+		slot := int(rec.Node)*2 + int(rec.Side)
+		_, _, correct := preds[slot].Observe(rec.Addr, rec.Tuple())
+		total++
+		if correct {
+			hits++
+		}
+	}
+	row := VariantRow{
+		App:            app,
+		Group:          cfg.BlockGroup,
+		SenderAgnostic: cfg.SenderAgnosticHistory,
+	}
+	if total > 0 {
+		row.Overall = 100 * float64(hits) / float64(total)
+	}
+	for _, p := range preds {
+		row.MHREntries += p.MHREntries()
+		row.PHTEntries += p.PHTEntries()
+	}
+	return row, nil
+}
+
+// PApVsPAgRow compares the paper's per-address-PHT design (PAp) with
+// the shared-global-PHT alternative (PAg) at equal depth.
+type PApVsPAgRow struct {
+	App        string
+	Depth      int
+	PApOverall float64
+	PAgOverall float64
+	// PHT entry totals across all predictors: the memory PAg saves.
+	PApPHT uint64
+	PAgPHT uint64
+}
+
+// PApVsPAg evaluates both designs over every benchmark. Expected
+// shape: PAg's shared table is orders of magnitude smaller but
+// aliasing across blocks with identical histories and different
+// sharers costs accuracy — the quantitative justification for the
+// paper's per-block PHT choice.
+func PApVsPAg(s *Suite, depth int) ([]PApVsPAgRow, error) {
+	for _, appName := range s.Apps() {
+		if _, err := s.Trace(appName); err != nil {
+			return nil, err
+		}
+	}
+	var rows []PApVsPAgRow
+	for _, appName := range s.Apps() {
+		tr, err := s.Trace(appName)
+		if err != nil {
+			return nil, err
+		}
+		row := PApVsPAgRow{App: appName, Depth: depth}
+
+		paps := make([]*core.Predictor, 2*tr.Nodes)
+		pags := make([]*core.PAg, 2*tr.Nodes)
+		for i := range paps {
+			paps[i], err = core.New(core.Config{Depth: depth})
+			if err != nil {
+				return nil, err
+			}
+			pags[i], err = core.NewPAg(core.Config{Depth: depth})
+			if err != nil {
+				return nil, err
+			}
+		}
+		var total, papHits, pagHits uint64
+		for _, rec := range tr.Records {
+			slot := int(rec.Node)*2 + int(rec.Side)
+			total++
+			if _, _, ok := paps[slot].Observe(rec.Addr, rec.Tuple()); ok {
+				papHits++
+			}
+			if _, _, ok := pags[slot].Observe(rec.Addr, rec.Tuple()); ok {
+				pagHits++
+			}
+		}
+		if total > 0 {
+			row.PApOverall = 100 * float64(papHits) / float64(total)
+			row.PAgOverall = 100 * float64(pagHits) / float64(total)
+		}
+		for i := range paps {
+			row.PApPHT += paps[i].PHTEntries()
+			row.PAgPHT += pags[i].PHTEntries()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

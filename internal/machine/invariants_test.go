@@ -1,0 +1,238 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// randomScript builds a deterministic pseudo-random workload: procs
+// processors, iters iterations, each performing a random mix of loads
+// and stores over a small pool of blocks (guaranteeing heavy
+// conflict).
+func randomScript(r *rand.Rand, procs, iters, blocks, accessesPerIter int) (*workload.Script, []coherence.Addr) {
+	geom := coherence.MustGeometry(64, 4096, procs)
+	arena := workload.NewArena(geom)
+	region := arena.Alloc(blocks)
+	var addrs []coherence.Addr
+	for b := 0; b < blocks; b++ {
+		addrs = append(addrs, region.Block(b))
+	}
+	steps := make([][][]workload.Access, iters)
+	for it := range steps {
+		steps[it] = make([][]workload.Access, procs)
+		for p := 0; p < procs; p++ {
+			for a := 0; a < accessesPerIter; a++ {
+				addr := addrs[r.Intn(len(addrs))]
+				if r.Intn(2) == 0 {
+					steps[it][p] = append(steps[it][p], workload.Read(addr))
+				} else {
+					steps[it][p] = append(steps[it][p], workload.Write(addr))
+				}
+			}
+		}
+	}
+	return &workload.Script{ScriptName: "fuzz", NumProcs: procs, Steps: steps}, addrs
+}
+
+// checkCoherence asserts, at quiescence, the fundamental invariants of
+// a write-invalidate protocol for every block:
+//
+//  1. single-writer: at most one cache holds the block read-write;
+//  2. exclusion: a read-write copy excludes all read-only copies;
+//  3. directory agreement: the home directory's sharer list matches
+//     exactly the caches that hold valid copies.
+func checkCoherence(t *testing.T, m *Machine, addrs []coherence.Addr) {
+	t.Helper()
+	checkCoherenceMode(t, m, addrs, false)
+}
+
+// checkCoherenceMode is checkCoherence with an escape hatch for
+// bounded caches: silent read-only evictions legitimately leave the
+// directory with stale sharer bits, so the directory's view is a
+// *superset* of the caches' copies rather than an exact match.
+func checkCoherenceMode(t *testing.T, m *Machine, addrs []coherence.Addr, bounded bool) {
+	t.Helper()
+	geom := m.Geometry()
+	for _, addr := range addrs {
+		addr = geom.Block(addr)
+		var writers, readers []coherence.NodeID
+		for n := 0; n < geom.Nodes(); n++ {
+			switch m.Cache(coherence.NodeID(n)).State(addr) {
+			case stache.CacheReadWrite:
+				writers = append(writers, coherence.NodeID(n))
+			case stache.CacheReadOnly:
+				readers = append(readers, coherence.NodeID(n))
+			}
+		}
+		if len(writers) > 1 {
+			t.Fatalf("block %#x: multiple writers %v", uint64(addr), writers)
+		}
+		if len(writers) == 1 && len(readers) > 0 {
+			t.Fatalf("block %#x: writer %v coexists with readers %v", uint64(addr), writers[0], readers)
+		}
+		// Directory agreement.
+		home := geom.Home(addr)
+		sharers := m.Directory(home).Sharers(addr)
+		want := map[coherence.NodeID]bool{}
+		for _, n := range append(writers, readers...) {
+			want[n] = true
+		}
+		got := map[coherence.NodeID]bool{}
+		for _, n := range sharers {
+			got[n] = true
+		}
+		if !bounded && len(want) != len(got) {
+			t.Fatalf("block %#x: directory sharers %v, cache copies %v", uint64(addr), sharers, want)
+		}
+		for n := range want {
+			if !got[n] {
+				t.Fatalf("block %#x: cache %v holds a copy the directory does not record (%v)",
+					uint64(addr), n, sharers)
+			}
+		}
+	}
+}
+
+// TestCoherenceInvariantsFuzz runs many random high-conflict workloads
+// through the machine and verifies the protocol invariants after every
+// run, under both protocol variants and with the RMW oracle attached.
+func TestCoherenceInvariantsFuzz(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(seed)))
+			procs := 2 + r.Intn(15) // 2..16
+			script, addrs := randomScript(r, procs, 4+r.Intn(4), 1+r.Intn(6), 5+r.Intn(20))
+
+			opts := stache.DefaultOptions()
+			if seed%3 == 1 {
+				opts.HalfMigratory = false
+			}
+			bounded := seed%4 == 3
+			if bounded {
+				// Tiny caches force heavy replacement traffic.
+				opts.CacheBlocks = 2 + r.Intn(4)
+				opts.CacheAssoc = 1 + r.Intn(2)
+			} else if seed%5 == 0 {
+				// Origin-style three-hop data forwarding.
+				opts.Forwarding = true
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Nodes = procs
+			m, err := New(cfg, opts, script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seed%3 == 2 {
+				// Exercise the speculative RMW grant path under fuzz:
+				// a trivial oracle that always predicts an upgrade by
+				// the last directory-side sender (aggressively wrong
+				// much of the time — the protocol must stay coherent).
+				for n := 0; n < procs; n++ {
+					node := coherence.NodeID(n)
+					o := &eagerOracle{}
+					m.Directory(node).AttachOracle(o)
+					m.AddObserver(o)
+				}
+			}
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			checkCoherenceMode(t, m, addrs, bounded)
+		})
+	}
+}
+
+// eagerOracle predicts that whoever sent the last directory message
+// for a block will upgrade next — deliberately trigger-happy, to stress
+// the speculative grant path with wrong speculation.
+type eagerOracle struct {
+	last map[coherence.Addr]coherence.NodeID
+}
+
+func (o *eagerOracle) PredictNext(addr coherence.Addr) (coherence.Tuple, bool) {
+	n, ok := o.last[addr]
+	if !ok {
+		return coherence.Tuple{}, false
+	}
+	return coherence.Tuple{Sender: n, Type: coherence.UpgradeReq}, true
+}
+
+func (o *eagerOracle) ObserveCache(coherence.NodeID, coherence.Msg) {}
+func (o *eagerOracle) ObserveDirectory(_ coherence.NodeID, m coherence.Msg) {
+	if o.last == nil {
+		o.last = make(map[coherence.Addr]coherence.NodeID)
+	}
+	o.last[m.Addr] = m.Src
+}
+func (o *eagerOracle) EndIteration(int) {}
+
+// TestCoherenceInvariantsOnBenchmarks verifies the invariants after
+// complete small-scale runs of all five paper workloads.
+func TestCoherenceInvariantsOnBenchmarks(t *testing.T) {
+	for _, app := range workload.Registry(16, workload.ScaleSmall) {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			m, err := New(smallConfig(16), stache.DefaultOptions(), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Collect every address the app touches.
+			seen := map[coherence.Addr]bool{}
+			for it := 0; it < app.Iterations(); it++ {
+				for p := 0; p < app.Procs(); p++ {
+					for _, a := range app.Accesses(p, it) {
+						seen[m.Geometry().Block(a.Addr)] = true
+					}
+				}
+			}
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			var addrs []coherence.Addr
+			for a := range seen {
+				addrs = append(addrs, a)
+			}
+			checkCoherence(t, m, addrs)
+		})
+	}
+}
+
+// TestSpeculationPreservesResults: with a real Cosmos oracle attached,
+// a workload's access count and final coherence state remain legal,
+// and speculative grants never break determinism.
+func TestSpeculationDeterminism(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = 8
+		app := workload.NewMoldyn(8, workload.ScaleSmall)
+		m, err := New(cfg, stache.DefaultOptions(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 8; n++ {
+			o := &eagerOracle{}
+			m.Directory(coherence.NodeID(n)).AttachOracle(o)
+			m.AddObserver(o)
+		}
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Accesses(), m.Engine().Now()
+	}
+	a1, t1 := run()
+	a2, t2 := run()
+	if a1 != a2 || t1 != t2 {
+		t.Errorf("speculative runs diverged: (%d,%v) vs (%d,%v)", a1, t1, a2, t2)
+	}
+}

@@ -1,0 +1,226 @@
+// Package machine assembles the simulated multiprocessor: N
+// single-processor nodes, each with a Stache cache controller and a
+// directory controller, connected by the network, executing a workload
+// of barrier-separated iterations (Section 5's target system).
+//
+// Barriers are implemented outside the coherence protocol, matching
+// Section 5.1: the paper's barriers use point-to-point messages whose
+// traffic is excluded from the prediction traces, so the machine simply
+// releases all processors once the last one arrives (plus a fixed
+// latency), without generating coherence messages at all.
+package machine
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/network"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// Observer watches the coherence message streams and iteration
+// boundaries of a run. Implementations include trace recorders and
+// online predictors.
+type Observer interface {
+	// ObserveCache fires when node's cache controller receives msg.
+	ObserveCache(node coherence.NodeID, msg coherence.Msg)
+	// ObserveDirectory fires when node's directory controller receives msg.
+	ObserveDirectory(node coherence.NodeID, msg coherence.Msg)
+	// EndIteration fires after all processors complete iteration iter
+	// (0-based) and before any processor starts the next one.
+	EndIteration(iter int)
+}
+
+// proc tracks one simulated processor's progress through the workload.
+type proc struct {
+	id   coherence.NodeID
+	seq  []workload.Access
+	next int
+}
+
+// Machine is the full simulated system.
+type Machine struct {
+	cfg       sim.Config
+	geom      coherence.Geometry
+	engine    *sim.Engine
+	net       *network.Network
+	caches    []*stache.Cache
+	dirs      []*stache.Directory
+	app       workload.App
+	observers []Observer
+
+	procs    []proc
+	iter     int
+	arrived  int
+	accesses uint64
+
+	// barrierLatency is the simulated cost of the barrier itself.
+	barrierLatency sim.Time
+	// thinkTime separates consecutive accesses by one processor.
+	thinkTime sim.Time
+}
+
+// New builds a machine running app under cfg and opts. The app must
+// have been built for cfg.Nodes processors.
+func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if app.Procs() != cfg.Nodes {
+		return nil, fmt.Errorf("machine: app %q built for %d procs, machine has %d nodes",
+			app.Name(), app.Procs(), cfg.Nodes)
+	}
+	if cfg.Nodes > 64 {
+		return nil, fmt.Errorf("machine: %d nodes exceeds the 64-node full-map limit", cfg.Nodes)
+	}
+	if opts.Forwarding && opts.CacheBlocks > 0 {
+		// A forwarding owner must still hold the data when the request
+		// arrives; replacement could have written it back already.
+		// Origin solves this with extra transient states; this model
+		// scopes forwarding to no-replacement (Stache-style) caches.
+		return nil, fmt.Errorf("machine: Forwarding requires unbounded caches (CacheBlocks = 0)")
+	}
+	geom, err := coherence.NewGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	engine := &sim.Engine{}
+	net, err := network.New(engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		cfg:            cfg,
+		geom:           geom,
+		engine:         engine,
+		net:            net,
+		caches:         make([]*stache.Cache, cfg.Nodes),
+		dirs:           make([]*stache.Directory, cfg.Nodes),
+		app:            app,
+		procs:          make([]proc, cfg.Nodes),
+		barrierLatency: sim.Time(cfg.Nodes) * cfg.MessageLatencyNs() / 4,
+		thinkTime:      1,
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		node := coherence.NodeID(i)
+		m.dirs[i] = stache.NewDirectory(node, geom, net, opts, func(msg coherence.Msg) {
+			for _, o := range m.observers {
+				o.ObserveDirectory(node, msg)
+			}
+		})
+		m.caches[i] = stache.NewCache(node, geom, net, m.dirs[i], opts, func(msg coherence.Msg) {
+			for _, o := range m.observers {
+				o.ObserveCache(node, msg)
+			}
+		})
+		m.procs[i] = proc{id: node}
+
+		cache, dir := m.caches[i], m.dirs[i]
+		net.Bind(node, func(msg coherence.Msg) {
+			// Protocol occupancy: the software handler costs time, but
+			// delivery order (what predictors see) is fixed at receive.
+			if msg.Type.DirectoryBound() {
+				dir.Deliver(msg)
+			} else {
+				cache.Deliver(msg)
+			}
+		})
+	}
+	return m, nil
+}
+
+// AddObserver attaches an observer. Must be called before Run.
+func (m *Machine) AddObserver(o Observer) { m.observers = append(m.observers, o) }
+
+// Geometry returns the machine's address geometry.
+func (m *Machine) Geometry() coherence.Geometry { return m.geom }
+
+// Engine exposes the event engine (tests use it to inspect time).
+func (m *Machine) Engine() *sim.Engine { return m.engine }
+
+// Network exposes the interconnect for statistics.
+func (m *Machine) Network() *network.Network { return m.net }
+
+// Cache returns node n's cache controller (for tests).
+func (m *Machine) Cache(n coherence.NodeID) *stache.Cache { return m.caches[n] }
+
+// Directory returns node n's directory controller (for tests).
+func (m *Machine) Directory(n coherence.NodeID) *stache.Directory { return m.dirs[n] }
+
+// Accesses returns the total number of memory references performed.
+func (m *Machine) Accesses() uint64 { return m.accesses }
+
+// Iteration returns the number of fully completed iterations.
+func (m *Machine) Iteration() int { return m.iter }
+
+// Run simulates the workload to completion. maxEvents bounds the event
+// count (0 = unlimited); exceeding it returns an error, which almost
+// always indicates a protocol livelock.
+func (m *Machine) Run(maxEvents uint64) error {
+	if m.app.Iterations() == 0 {
+		return nil
+	}
+	m.startIteration()
+	if _, err := m.engine.Run(maxEvents); err != nil {
+		return err
+	}
+	if m.iter < m.app.Iterations() {
+		return fmt.Errorf("machine: deadlock: simulation drained at iteration %d of %d (t=%v)",
+			m.iter, m.app.Iterations(), m.engine.Now())
+	}
+	return nil
+}
+
+// startIteration loads every processor's access sequence for the
+// current iteration and schedules their first accesses. A small
+// per-processor skew (one think-time step per node id) staggers issue
+// so same-instant races resolve differently across nodes, as they would
+// on real hardware.
+func (m *Machine) startIteration() {
+	m.arrived = 0
+	for i := range m.procs {
+		p := &m.procs[i]
+		p.seq = m.app.Accesses(i, m.iter)
+		p.next = 0
+		skew := sim.Time(i) * m.thinkTime
+		m.engine.After(skew, func() { m.step(p) })
+	}
+}
+
+// step issues processor p's next access, or reports barrier arrival
+// when its iteration sequence is exhausted.
+func (m *Machine) step(p *proc) {
+	if p.next >= len(p.seq) {
+		m.barrierArrive()
+		return
+	}
+	a := p.seq[p.next]
+	p.next++
+	m.accesses++
+	m.caches[p.id].Access(a.Addr, a.Write, func() {
+		m.engine.After(m.thinkTime, func() { m.step(p) })
+	})
+}
+
+// barrierArrive counts arrivals; the last arrival completes the
+// iteration, notifies observers, and releases everyone into the next
+// iteration after the barrier latency.
+func (m *Machine) barrierArrive() {
+	m.arrived++
+	if m.arrived < len(m.procs) {
+		return
+	}
+	for _, o := range m.observers {
+		o.EndIteration(m.iter)
+	}
+	m.iter++
+	if m.iter >= m.app.Iterations() {
+		return
+	}
+	m.engine.After(m.barrierLatency, m.startIteration)
+}

@@ -1,0 +1,282 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// recorder is a test Observer.
+type recorder struct {
+	cacheMsgs []coherence.Msg
+	dirMsgs   []coherence.Msg
+	iters     []int
+	// pendingAtIter captures how many events were pending when each
+	// iteration ended — should always be ~0 message traffic.
+	quiesced []bool
+	m        *Machine
+}
+
+func (r *recorder) ObserveCache(n coherence.NodeID, m coherence.Msg) {
+	r.cacheMsgs = append(r.cacheMsgs, m)
+}
+func (r *recorder) ObserveDirectory(n coherence.NodeID, m coherence.Msg) {
+	r.dirMsgs = append(r.dirMsgs, m)
+}
+func (r *recorder) EndIteration(iter int) {
+	r.iters = append(r.iters, iter)
+}
+
+func smallConfig(nodes int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = nodes
+	return cfg
+}
+
+func TestMachineRunsScript(t *testing.T) {
+	cfg := smallConfig(4)
+	geom := coherence.MustGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
+	arena := workload.NewArena(geom)
+	blocks := arena.Alloc(4)
+	app := workload.ProducerConsumer(4, 0, []int{1, 2}, blocks, 5)
+
+	m, err := New(cfg, stache.DefaultOptions(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	m.AddObserver(rec)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Iteration() != 10 { // 5 rounds x 2 phases
+		t.Errorf("completed %d phases, want 10", m.Iteration())
+	}
+	if len(rec.iters) != 10 || rec.iters[9] != 9 {
+		t.Errorf("EndIteration sequence = %v", rec.iters)
+	}
+	if len(rec.cacheMsgs) == 0 || len(rec.dirMsgs) == 0 {
+		t.Error("no messages observed")
+	}
+	// Every observed cache message is cache-bound and vice versa.
+	for _, msg := range rec.cacheMsgs {
+		if !msg.Type.CacheBound() {
+			t.Errorf("cache observer saw %v", msg)
+		}
+	}
+	for _, msg := range rec.dirMsgs {
+		if !msg.Type.DirectoryBound() {
+			t.Errorf("directory observer saw %v", msg)
+		}
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() []coherence.Msg {
+		cfg := smallConfig(8)
+		app := workload.NewDSMC(8, workload.ScaleSmall)
+		m, err := New(cfg, stache.DefaultOptions(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &recorder{}
+		m.AddObserver(rec)
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return append(rec.cacheMsgs, rec.dirMsgs...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("message %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMachineAllBenchmarksSmall(t *testing.T) {
+	for _, app := range workload.Registry(16, workload.ScaleSmall) {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			m, err := New(smallConfig(16), stache.DefaultOptions(), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recorder{}
+			m.AddObserver(rec)
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if m.Iteration() != app.Iterations() {
+				t.Errorf("completed %d/%d iterations", m.Iteration(), app.Iterations())
+			}
+			if m.Accesses() == 0 {
+				t.Error("no accesses performed")
+			}
+			if len(rec.dirMsgs) == 0 {
+				t.Errorf("%s generated no coherence traffic", app.Name())
+			}
+		})
+	}
+}
+
+func TestMachineHalfMigratoryOff(t *testing.T) {
+	// The DASH-like variant must also run every benchmark to completion
+	// (it exercises the downgrade paths).
+	app := workload.NewMoldyn(8, workload.ScaleSmall)
+	m, err := New(smallConfig(8), stache.Options{HalfMigratory: false}, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	m.AddObserver(rec)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var downgrades int
+	for _, msg := range rec.cacheMsgs {
+		if msg.Type == coherence.DowngradeReq {
+			downgrades++
+		}
+	}
+	if downgrades == 0 {
+		t.Error("no downgrade_requests with half-migratory off")
+	}
+}
+
+func TestMachineRejectsMismatchedApp(t *testing.T) {
+	app := workload.NewDSMC(8, workload.ScaleSmall)
+	if _, err := New(smallConfig(16), stache.DefaultOptions(), app); err == nil {
+		t.Error("New accepted app with wrong processor count")
+	}
+}
+
+func TestMachineRejectsTooManyNodes(t *testing.T) {
+	cfg := smallConfig(128)
+	app := &workload.Script{NumProcs: 128, Steps: nil}
+	if _, err := New(cfg, stache.DefaultOptions(), app); err == nil {
+		t.Error("New accepted 128 nodes (full-map limit is 64)")
+	}
+}
+
+func TestMachineEmptyApp(t *testing.T) {
+	app := &workload.Script{NumProcs: 4, Steps: nil}
+	m, err := New(smallConfig(4), stache.DefaultOptions(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Iteration() != 0 {
+		t.Errorf("Iteration = %d", m.Iteration())
+	}
+}
+
+// TestBarrierSeparation: a write in iteration k is visible to readers
+// in iteration k+1; with one producer and one consumer alternating,
+// each iteration's message count is bounded, proving transactions do
+// not leak across barriers.
+func TestBarrierSeparation(t *testing.T) {
+	cfg := smallConfig(4)
+	geom := coherence.MustGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
+	arena := workload.NewArena(geom)
+	blocks := arena.Alloc(1)
+
+	perIter := make(map[int]int)
+	app := workload.ProducerConsumer(4, 1, []int{2}, blocks, 6)
+	m, err := New(cfg, stache.DefaultOptions(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 0
+	m.AddObserver(observerFuncs{
+		dir: func(coherence.NodeID, coherence.Msg) { perIter[cur]++ },
+		end: func(iter int) { cur = iter + 1 },
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state (phases >= 2): exactly 2 directory-bound messages
+	// per phase — produce: get_rw_request + inval_ro_response;
+	// consume: get_ro_request + inval_rw_response (Figure 2's loop,
+	// split across the two barrier phases of a round).
+	for ph := 2; ph < 12; ph++ {
+		if perIter[ph] != 2 {
+			t.Errorf("phase %d: %d directory messages, want 2 (map %v)", ph, perIter[ph], perIter)
+		}
+	}
+}
+
+// observerFuncs adapts closures to the Observer interface.
+type observerFuncs struct {
+	cache func(coherence.NodeID, coherence.Msg)
+	dir   func(coherence.NodeID, coherence.Msg)
+	end   func(int)
+}
+
+func (o observerFuncs) ObserveCache(n coherence.NodeID, m coherence.Msg) {
+	if o.cache != nil {
+		o.cache(n, m)
+	}
+}
+func (o observerFuncs) ObserveDirectory(n coherence.NodeID, m coherence.Msg) {
+	if o.dir != nil {
+		o.dir(n, m)
+	}
+}
+func (o observerFuncs) EndIteration(i int) {
+	if o.end != nil {
+		o.end(i)
+	}
+}
+
+// TestMachineForwardingVariant runs every benchmark under the
+// Origin-style forwarding protocol and checks the incompatible
+// configuration is rejected.
+func TestMachineForwardingVariant(t *testing.T) {
+	opts := stache.DefaultOptions()
+	opts.Forwarding = true
+	for _, app := range workload.Registry(16, workload.ScaleSmall) {
+		m, err := New(smallConfig(16), opts, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatalf("%s under forwarding: %v", app.Name(), err)
+		}
+	}
+	bad := opts
+	bad.CacheBlocks = 8
+	if _, err := New(smallConfig(16), bad, workload.NewDSMC(16, workload.ScaleSmall)); err == nil {
+		t.Error("New accepted Forwarding with bounded caches")
+	}
+}
+
+// TestMachineAcrossNodeCounts runs a benchmark at machine sizes other
+// than 16 to exercise the full-map protocol at different widths.
+func TestMachineAcrossNodeCounts(t *testing.T) {
+	for _, nodes := range []int{2, 4, 27, 64} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			app := workload.NewUnstructured(nodes, workload.ScaleSmall)
+			m, err := New(smallConfig(nodes), stache.DefaultOptions(), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if m.Iteration() != app.Iterations() {
+				t.Errorf("completed %d/%d phases", m.Iteration(), app.Iterations())
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+// Package model implements the analytic execution model of Section 4.4
+// and Figure 5: a back-of-the-envelope translation of coherence message
+// prediction rates into parallel program speedup, assuming execution
+// time is determined purely by the delay of messages on the program's
+// critical path.
+package model
+
+import "fmt"
+
+// Params are the model's three knobs.
+type Params struct {
+	// P is the prediction accuracy for each message (0..1).
+	P float64
+	// F is the fraction of delay still incurred on correctly predicted
+	// messages (f=0 means a correctly predicted message is fully
+	// overlapped with other work).
+	F float64
+	// R is the penalty on mis-predicted messages (r=0.5 means a
+	// mis-predicted message takes 1.5x the unpredicted delay).
+	R float64
+}
+
+// Validate checks the parameters' domains.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 0 || p.P > 1:
+		return fmt.Errorf("model: accuracy p=%v outside [0,1]", p.P)
+	case p.F < 0:
+		return fmt.Errorf("model: benefit fraction f=%v negative", p.F)
+	case p.R < 0:
+		return fmt.Errorf("model: penalty r=%v negative", p.R)
+	}
+	return nil
+}
+
+// Speedup returns time(without prediction) / time(with prediction):
+//
+//	speedup = 1 / (p*f + (1-p)*(1+r))
+//
+// A value above 1 means prediction helps; below 1, mis-prediction
+// penalties outweigh the benefit.
+func Speedup(params Params) (float64, error) {
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	denom := params.P*params.F + (1-params.P)*(1+params.R)
+	if denom <= 0 {
+		// Only possible at p=1, f=0: every message is predicted and
+		// fully overlapped; the model degenerates to "infinite"
+		// speedup. Report it as such.
+		return 0, fmt.Errorf("model: degenerate parameters (p=%v f=%v r=%v): zero residual delay", params.P, params.F, params.R)
+	}
+	return 1 / denom, nil
+}
+
+// BreakEvenAccuracy returns the prediction accuracy at which speedup
+// is exactly 1 for the given f and r: below it prediction hurts.
+// Derived from p*f + (1-p)(1+r) = 1.
+func BreakEvenAccuracy(f, r float64) (float64, error) {
+	if err := (Params{P: 0, F: f, R: r}).Validate(); err != nil {
+		return 0, err
+	}
+	denom := 1 + r - f
+	if denom <= 0 {
+		return 0, fmt.Errorf("model: f=%v >= 1+r=%v: prediction never breaks even", f, 1+r)
+	}
+	p := r / denom
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// Point is one sample of a Figure 5 curve.
+type Point struct {
+	X       float64 // the swept parameter (f or r)
+	Speedup float64
+}
+
+// Curve is one labelled series.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// SweepF reproduces one panel of Figure 5: speedup as a function of f
+// (benefit fraction) for fixed accuracy p, one curve per penalty r.
+func SweepF(p float64, rs []float64, fMin, fMax, step float64) ([]Curve, error) {
+	var curves []Curve
+	for _, r := range rs {
+		c := Curve{Label: fmt.Sprintf("r=%.2g", r)}
+		for f := fMin; f <= fMax+1e-9; f += step {
+			s, err := Speedup(Params{P: p, F: f, R: r})
+			if err != nil {
+				return nil, err
+			}
+			c.Points = append(c.Points, Point{X: f, Speedup: s})
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// SweepR is the dual panel: speedup as a function of r for fixed p,
+// one curve per benefit fraction f.
+func SweepR(p float64, fs []float64, rMin, rMax, step float64) ([]Curve, error) {
+	var curves []Curve
+	for _, f := range fs {
+		c := Curve{Label: fmt.Sprintf("f=%.2g", f)}
+		for r := rMin; r <= rMax+1e-9; r += step {
+			s, err := Speedup(Params{P: p, F: f, R: r})
+			if err != nil {
+				return nil, err
+			}
+			c.Points = append(c.Points, Point{X: r, Speedup: s})
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}

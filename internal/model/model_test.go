@@ -1,0 +1,157 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedupPaperExample(t *testing.T) {
+	// Section 4.4: with p=0.8, r=1 and f=0.3, "speedup can be as high
+	// as 56%": 1/(0.8*0.3 + 0.2*2) = 1/0.64 = 1.5625.
+	s, err := Speedup(Params{P: 0.8, F: 0.3, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.5625) > 1e-12 {
+		t.Errorf("Speedup = %v, want 1.5625", s)
+	}
+}
+
+func TestSpeedupNoPredictionBaseline(t *testing.T) {
+	// p=0 and r=0: prediction does nothing, speedup exactly 1.
+	s, err := Speedup(Params{P: 0, F: 0.5, R: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("Speedup = %v, want 1", s)
+	}
+	// f=1, r=0: correct predictions save nothing either.
+	s, _ = Speedup(Params{P: 0.9, F: 1, R: 0})
+	if s != 1 {
+		t.Errorf("Speedup = %v, want 1", s)
+	}
+}
+
+func TestSpeedupCanHurt(t *testing.T) {
+	// Low accuracy and high penalty: prediction slows the program.
+	s, err := Speedup(Params{P: 0.3, F: 0.9, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 1 {
+		t.Errorf("Speedup = %v, want < 1", s)
+	}
+}
+
+func TestSpeedupValidation(t *testing.T) {
+	for _, p := range []Params{{P: -0.1}, {P: 1.1}, {P: 0.5, F: -1}, {P: 0.5, R: -1}} {
+		if _, err := Speedup(p); err == nil {
+			t.Errorf("Speedup(%+v) accepted invalid params", p)
+		}
+	}
+	if _, err := Speedup(Params{P: 1, F: 0, R: 0}); err == nil {
+		t.Error("degenerate zero-delay case not reported")
+	}
+}
+
+func TestBreakEvenAccuracy(t *testing.T) {
+	// f=0.5, r=0.5: p* = 0.5/(1.5-0.5) = 0.5; check speedup there is 1.
+	p, err := BreakEvenAccuracy(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("BreakEvenAccuracy = %v, want 0.5", p)
+	}
+	s, _ := Speedup(Params{P: p, F: 0.5, R: 0.5})
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("speedup at break-even = %v, want 1", s)
+	}
+	// r=0: break-even at p=0 (prediction can only help).
+	if p, _ := BreakEvenAccuracy(0.3, 0); p != 0 {
+		t.Errorf("break-even with r=0 = %v, want 0", p)
+	}
+	// f >= 1+r: never breaks even.
+	if _, err := BreakEvenAccuracy(2.5, 1); err == nil {
+		t.Error("f >= 1+r accepted")
+	}
+}
+
+// Monotonicity properties of the model (testing/quick).
+func TestSpeedupMonotonicity(t *testing.T) {
+	clamp := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+	// Higher accuracy never reduces speedup (for f <= 1+r, i.e. when a
+	// hit is no worse than a miss).
+	f := func(p1, p2, fRaw, rRaw float64) bool {
+		pa, pb := clamp(p1), clamp(p2)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		ff, rr := clamp(fRaw), clamp(rRaw)*2
+		if ff >= 1+rr {
+			return true
+		}
+		s1, err1 := Speedup(Params{P: pa, F: ff, R: rr})
+		s2, err2 := Speedup(Params{P: pb, F: ff, R: rr})
+		if err1 != nil || err2 != nil {
+			return true // degenerate corner
+		}
+		return s2 >= s1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Higher penalty never increases speedup.
+	g := func(pRaw, fRaw, r1, r2 float64) bool {
+		ra, rb := clamp(r1)*2, clamp(r2)*2
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		p, ff := clamp(pRaw), clamp(fRaw)
+		s1, err1 := Speedup(Params{P: p, F: ff, R: ra})
+		s2, err2 := Speedup(Params{P: p, F: ff, R: rb})
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return s2 <= s1+1e-12
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	curves, err := SweepF(0.8, []float64{0, 0.5, 1}, 0, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) != 11 {
+			t.Errorf("curve %s has %d points, want 11", c.Label, len(c.Points))
+		}
+		// Speedup falls as f grows.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Speedup > c.Points[i-1].Speedup+1e-12 {
+				t.Errorf("curve %s not non-increasing in f", c.Label)
+				break
+			}
+		}
+	}
+	rCurves, err := SweepR(0.8, []float64{0.1, 0.3}, 0, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rCurves) != 2 || len(rCurves[0].Points) != 9 {
+		t.Fatalf("rCurves shape wrong: %d curves", len(rCurves))
+	}
+	// The degenerate f=0 sweep errors out at p=1... but p=0.8 is fine;
+	// check an error path explicitly:
+	if _, err := SweepF(1.0, []float64{0}, 0, 0, 0.1); err == nil {
+		t.Error("degenerate sweep did not error")
+	}
+}

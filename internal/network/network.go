@@ -1,0 +1,122 @@
+// Package network models the point-to-point interconnect of the
+// simulated machine: fixed-size messages, a configurable wire latency,
+// network-interface injection/extraction costs, and per-link FIFO
+// delivery.
+//
+// Per-link FIFO matters for correctness of the Stache protocol as
+// implemented here: two messages from node A to node B are delivered in
+// the order A sent them, while messages from different sources race.
+// That is exactly the property that makes multi-consumer request arrival
+// order unpredictable (Section 3.1's two-consumer example) while keeping
+// each individual conversation sane.
+package network
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+// Handler receives a delivered message at its destination node.
+type Handler func(msg coherence.Msg)
+
+// Stats aggregates network activity counters.
+type Stats struct {
+	// MessagesSent counts every message injected.
+	MessagesSent uint64
+	// MessagesByType counts injections per message type.
+	MessagesByType [coherence.NumMsgTypes]uint64
+	// DataMessages counts messages that carried a block copy.
+	DataMessages uint64
+	// LocalMessages counts messages whose source and destination node
+	// coincide (delivered without touching the wire).
+	LocalMessages uint64
+}
+
+// Network connects N nodes. Create one with New, attach a Handler per
+// node with Bind, then Send messages. Delivery is scheduled on the
+// shared sim.Engine.
+type Network struct {
+	engine   *sim.Engine
+	latency  sim.Time // end-to-end remote latency (NI + wire + NI)
+	localLat sim.Time // latency for node-local delivery
+	handlers []Handler
+	// lastDelivery tracks, per (src,dst) link, the timestamp of the
+	// most recently scheduled delivery, enforcing FIFO per link.
+	lastDelivery []sim.Time
+	nodes        int
+	seq          uint64
+	stats        Stats
+}
+
+// New creates a network over n nodes using the cfg latencies and the
+// given engine.
+func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("network: nil engine")
+	}
+	n := cfg.Nodes
+	return &Network{
+		engine:       engine,
+		latency:      cfg.MessageLatencyNs(),
+		localLat:     cfg.BusTransferNs(cfg.CacheBlockBytes),
+		handlers:     make([]Handler, n),
+		lastDelivery: make([]sim.Time, n*n),
+		nodes:        n,
+	}, nil
+}
+
+// Nodes returns the number of attached nodes.
+func (nw *Network) Nodes() int { return nw.nodes }
+
+// Bind installs the delivery handler for node id. It must be called for
+// every node before the first Send to that node.
+func (nw *Network) Bind(id coherence.NodeID, h Handler) {
+	nw.handlers[int(id)] = h
+}
+
+// Stats returns a copy of the accumulated counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Send injects msg into the network. Delivery to msg.Dst is scheduled
+// after the configured latency, respecting per-link FIFO order. Send
+// panics on malformed messages (unbound destination, invalid type):
+// those are simulator bugs, not recoverable conditions.
+func (nw *Network) Send(msg coherence.Msg) {
+	if !msg.Type.Valid() {
+		panic(fmt.Sprintf("network: invalid message type in %v", msg))
+	}
+	if int(msg.Dst) < 0 || int(msg.Dst) >= nw.nodes || nw.handlers[msg.Dst] == nil {
+		panic(fmt.Sprintf("network: no handler bound for destination in %v", msg))
+	}
+	nw.seq++
+	msg.SeqNo = nw.seq
+
+	nw.stats.MessagesSent++
+	nw.stats.MessagesByType[msg.Type]++
+	if msg.Type.CarriesData() {
+		nw.stats.DataMessages++
+	}
+
+	lat := nw.latency
+	if msg.Src == msg.Dst {
+		lat = nw.localLat
+		nw.stats.LocalMessages++
+	}
+
+	// FIFO per link: never deliver before the previous message on the
+	// same (src,dst) link.
+	link := int(msg.Src)*nw.nodes + int(msg.Dst)
+	deliverAt := nw.engine.Now() + lat
+	if deliverAt < nw.lastDelivery[link] {
+		deliverAt = nw.lastDelivery[link]
+	}
+	nw.lastDelivery[link] = deliverAt
+
+	h := nw.handlers[msg.Dst]
+	nw.engine.At(deliverAt, func() { h(msg) })
+}

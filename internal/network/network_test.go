@@ -1,0 +1,145 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+func testNet(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	var e sim.Engine
+	cfg := sim.DefaultConfig()
+	nw, err := New(&e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &e, nw
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	e, nw := testNet(t)
+	var deliveredAt sim.Time
+	nw.Bind(1, func(m coherence.Msg) { deliveredAt = e.Now() })
+	nw.Bind(0, func(coherence.Msg) {})
+	nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: 0x40})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: 60 (NI) + 40 (wire) + 60 (NI) = 160 ns.
+	if deliveredAt != 160 {
+		t.Errorf("delivered at %v, want 160ns", deliveredAt)
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	e, nw := testNet(t)
+	var got []uint64
+	nw.Bind(1, func(m coherence.Msg) { got = append(got, uint64(m.Addr)) })
+	for i := uint64(1); i <= 50; i++ {
+		nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: coherence.Addr(i * 64)})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("delivered %d messages, want 50", len(got))
+	}
+	for i, a := range got {
+		if a != uint64(i+1)*64 {
+			t.Fatalf("FIFO violated: got[%d] = %#x", i, a)
+		}
+	}
+}
+
+func TestSeqNoMonotonic(t *testing.T) {
+	e, nw := testNet(t)
+	var seqs []uint64
+	nw.Bind(2, func(m coherence.Msg) { seqs = append(seqs, m.SeqNo) })
+	for i := 0; i < 10; i++ {
+		nw.Send(coherence.Msg{Src: 0, Dst: 2, Type: coherence.GetRWReq})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("SeqNo not increasing: %v", seqs)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	e, nw := testNet(t)
+	for i := 0; i < 16; i++ {
+		nw.Bind(coherence.NodeID(i), func(coherence.Msg) {})
+	}
+	nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq})
+	nw.Send(coherence.Msg{Src: 1, Dst: 0, Type: coherence.GetROResp})  // carries data
+	nw.Send(coherence.Msg{Src: 2, Dst: 2, Type: coherence.UpgradeReq}) // local
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.MessagesSent != 3 {
+		t.Errorf("MessagesSent = %d", s.MessagesSent)
+	}
+	if s.DataMessages != 1 {
+		t.Errorf("DataMessages = %d", s.DataMessages)
+	}
+	if s.LocalMessages != 1 {
+		t.Errorf("LocalMessages = %d", s.LocalMessages)
+	}
+	if s.MessagesByType[coherence.GetROReq] != 1 || s.MessagesByType[coherence.GetROResp] != 1 {
+		t.Errorf("MessagesByType = %v", s.MessagesByType)
+	}
+}
+
+func TestSendPanicsOnInvalidType(t *testing.T) {
+	_, nw := testNet(t)
+	nw.Bind(0, func(coherence.Msg) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Send with invalid type did not panic")
+		}
+	}()
+	nw.Send(coherence.Msg{Src: 0, Dst: 0, Type: coherence.MsgInvalid})
+}
+
+func TestSendPanicsOnUnboundDestination(t *testing.T) {
+	_, nw := testNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Send to unbound destination did not panic")
+		}
+	}()
+	nw.Send(coherence.Msg{Src: 0, Dst: 5, Type: coherence.GetROReq})
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	var e sim.Engine
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 0
+	if _, err := New(&e, cfg); err == nil {
+		t.Error("New accepted invalid config")
+	}
+	if _, err := New(nil, sim.DefaultConfig()); err == nil {
+		t.Error("New accepted nil engine")
+	}
+}
+
+func TestLocalDeliveryFasterThanRemote(t *testing.T) {
+	e, nw := testNet(t)
+	var localAt, remoteAt sim.Time
+	nw.Bind(0, func(coherence.Msg) { localAt = e.Now() })
+	nw.Bind(1, func(coherence.Msg) { remoteAt = e.Now() })
+	nw.Send(coherence.Msg{Src: 0, Dst: 0, Type: coherence.GetROReq})
+	nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if localAt >= remoteAt {
+		t.Errorf("local delivery (%v) should be faster than remote (%v)", localAt, remoteAt)
+	}
+}

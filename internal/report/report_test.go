@@ -1,0 +1,244 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+func allApps() []string {
+	return []string{"appbt", "barnes", "dsmc", "moldyn", "unstructured"}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	var rows []experiments.Table5Row
+	for d := 1; d <= 4; d++ {
+		for _, a := range allApps() {
+			rows = append(rows, experiments.Table5Row{
+				App: a, Depth: d, Cache: 90, Dir: 80, Overall: 85,
+			})
+		}
+	}
+	var sb strings.Builder
+	Table5(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"TABLE 5", "appbt", "unstructured", "C", "D", "O"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 8 { // title + 2 header lines + rule + 4 depth rows
+		t.Errorf("Table5 line count = %d", strings.Count(out, "\n"))
+	}
+	if !strings.Contains(out, "85") {
+		t.Error("Table5 missing data")
+	}
+}
+
+func TestTable6Rendering(t *testing.T) {
+	var rows []experiments.Table6Row
+	for d := 1; d <= 2; d++ {
+		for _, a := range allApps() {
+			for f := 0; f <= 2; f++ {
+				rows = append(rows, experiments.Table6Row{App: a, Depth: d, FilterMax: f, Overall: 80 + float64(f)})
+			}
+		}
+	}
+	var sb strings.Builder
+	Table6(&sb, rows)
+	if !strings.Contains(sb.String(), "TABLE 6") || !strings.Contains(sb.String(), "82") {
+		t.Errorf("Table6 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestTable7Rendering(t *testing.T) {
+	var rows []experiments.Table7Row
+	for d := 1; d <= 4; d++ {
+		for _, a := range allApps() {
+			rows = append(rows, experiments.Table7Row{App: a, Depth: d, Ratio: 1.2, Overhead: 5.4})
+		}
+	}
+	var sb strings.Builder
+	Table7(&sb, rows)
+	if !strings.Contains(sb.String(), "1.2") || !strings.Contains(sb.String(), "5.4%") {
+		t.Errorf("Table7 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestTable8Rendering(t *testing.T) {
+	var cells []experiments.Table8Cell
+	for _, arc := range experiments.Table8Transitions {
+		for _, n := range experiments.Table8Iterations {
+			cells = append(cells, experiments.Table8Cell{Arc: arc, Iterations: n, HitPct: 12, RefPct: 20})
+		}
+	}
+	var sb strings.Builder
+	Table8(&sb, cells)
+	out := sb.String()
+	if !strings.Contains(out, "TABLE 8") || !strings.Contains(out, "get_ro_response") {
+		t.Errorf("Table8 output wrong:\n%s", out)
+	}
+	if strings.Count(out, "12%") != 9 {
+		t.Errorf("Table8 should render 9 hit cells:\n%s", out)
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	fig, err := experiments.RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Figure5(&sb, fig)
+	out := sb.String()
+	if !strings.Contains(out, "FIGURE 5") || !strings.Contains(out, "speedup vs f") || !strings.Contains(out, "speedup vs r") {
+		t.Errorf("Figure5 output wrong:\n%s", out)
+	}
+}
+
+func TestSignaturesRendering(t *testing.T) {
+	rows := []experiments.SignatureRow{
+		{Side: trace.CacheSide, Stat: stats.ArcStat{
+			Arc:      stats.Arc{Side: trace.CacheSide, From: coherence.GetROResp, To: coherence.InvalROReq},
+			Counter:  stats.Counter{Total: 100, Hits: 94},
+			RefShare: 0.09,
+		}},
+		{Side: trace.DirectorySide, Stat: stats.ArcStat{
+			Arc:      stats.Arc{Side: trace.DirectorySide, From: coherence.GetROReq, To: coherence.UpgradeReq},
+			Counter:  stats.Counter{Total: 50, Hits: 25},
+			RefShare: 0.5,
+		}},
+	}
+	var sb strings.Builder
+	Signatures(&sb, "appbt", rows)
+	out := sb.String()
+	if !strings.Contains(out, "94/9") {
+		t.Errorf("missing X/Y label 94/9:\n%s", out)
+	}
+	if !strings.Contains(out, "at the cache") || !strings.Contains(out, "at the directory") {
+		t.Errorf("missing side headers:\n%s", out)
+	}
+}
+
+func TestFigure8AndComparisonsRendering(t *testing.T) {
+	var sb strings.Builder
+	Figure8(&sb, &experiments.Figure8Result{
+		Migratory: experiments.DirectedEval{Classified: 16, AccuracyWhenPredicting: 0.98, Coverage: 0.6},
+		DSI:       experiments.DirectedEval{Classified: 16, AccuracyWhenPredicting: 0.97, Coverage: 0.9},
+	})
+	if !strings.Contains(sb.String(), "FIGURE 8") || !strings.Contains(sb.String(), "98%") {
+		t.Errorf("Figure8 wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	DirectedComparison(&sb, []experiments.DirectedComparisonRow{
+		{App: "moldyn", Side: trace.DirectorySide, Evals: []experiments.DirectedEval{
+			{Name: "cosmos-d1", Accuracy: 0.8, Coverage: 0.99, AccuracyWhenPredicting: 0.81},
+			{Name: "migratory", Accuracy: 0.3, Coverage: 0.4, AccuracyWhenPredicting: 0.75, Classified: 7},
+		}},
+	})
+	if !strings.Contains(sb.String(), "cosmos-d1") || !strings.Contains(sb.String(), "blocks classified 7") {
+		t.Errorf("DirectedComparison wrong:\n%s", sb.String())
+	}
+}
+
+func TestExtrasRendering(t *testing.T) {
+	var sb strings.Builder
+	Latency(&sb, []experiments.LatencyRow{
+		{App: "dsmc", LatencyNs: 40, Overall: 86.0},
+		{App: "dsmc", LatencyNs: 1000, Overall: 86.2},
+	})
+	if !strings.Contains(sb.String(), "40ns") || !strings.Contains(sb.String(), "1000ns") {
+		t.Errorf("Latency wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	Adapt(&sb, []experiments.AdaptRow{{App: "dsmc", SteadyIteration: 300, Iterations: 400, FinalAccuracy: 86}})
+	if !strings.Contains(sb.String(), "300") {
+		t.Errorf("Adapt wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	Ablation(&sb, []experiments.AblationRow{
+		{App: "dsmc", HalfMigratory: true, Overall: 86, DirMessages: 1000},
+		{App: "dsmc", HalfMigratory: false, Overall: 80, DirMessages: 1400},
+	})
+	if !strings.Contains(sb.String(), "half-migratory") || !strings.Contains(sb.String(), "downgrade") {
+		t.Errorf("Ablation wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	FilterDepth(&sb, []experiments.FilterDepthCell{{App: "dsmc", Depth: 1, FilterMax: 0, Overall: 86}})
+	if !strings.Contains(sb.String(), "ABLATION") {
+		t.Errorf("FilterDepth wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	Variants(&sb, []experiments.VariantRow{
+		{App: "dsmc", Group: 4, Overall: 70, MHREntries: 100, PHTEntries: 200},
+		{App: "dsmc", Group: 1, SenderAgnostic: true, Overall: 75, MHREntries: 400, PHTEntries: 300},
+	})
+	if !strings.Contains(sb.String(), "group=4") || !strings.Contains(sb.String(), "sender-agnostic") {
+		t.Errorf("Variants wrong:\n%s", sb.String())
+	}
+}
+
+func TestTable3And4Rendering(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	var sb strings.Builder
+	Table3(&sb, cfg)
+	out := sb.String()
+	for _, want := range []string{"16", "64 bytes", "1024 KB", "40ns", "250 MHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	Table4(&sb, cfg)
+	for _, app := range allApps() {
+		if !strings.Contains(sb.String(), app) {
+			t.Errorf("Table4 missing %s", app)
+		}
+	}
+}
+
+func TestNewExperimentRenderers(t *testing.T) {
+	var sb strings.Builder
+	Replacement(&sb, []experiments.ReplacementRow{
+		{App: "appbt", Overall: 85.9, Messages: 100},
+		{App: "appbt", CacheBlocks: 256, ForgetOnWriteback: true, Overall: 63.8, Writebacks: 11910, Messages: 154266},
+		{App: "appbt", CacheBlocks: 256, Overall: 85.7, Writebacks: 11910, Messages: 154266},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "unbounded (Stache)") || !strings.Contains(out, "history lost") || !strings.Contains(out, "history kept") {
+		t.Errorf("Replacement output wrong:\n%s", out)
+	}
+
+	sb.Reset()
+	Accelerate(&sb, []experiments.AccelerateRow{
+		{App: "moldyn", BaselineMsgs: 1000, AcceleratedMsgs: 940, Speculations: 50, MessageReduction: 0.06, TimeReduction: 0.1},
+	})
+	if !strings.Contains(sb.String(), "moldyn") || !strings.Contains(sb.String(), "6.0%") {
+		t.Errorf("Accelerate output wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	PApVsPAg(&sb, []experiments.PApVsPAgRow{
+		{App: "dsmc", Depth: 1, PApOverall: 90.8, PAgOverall: 94.1, PApPHT: 2448, PAgPHT: 357},
+	})
+	if !strings.Contains(sb.String(), "PAg") || !strings.Contains(sb.String(), "94.1%") {
+		t.Errorf("PApVsPAg output wrong:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	StateEquivalence(&sb, []experiments.StateEquivalenceRow{
+		{App: "barnes", MessageAccuracy: 54.3, StateAccuracy: 47.7, DistinctStates: 1545},
+	})
+	if !strings.Contains(sb.String(), "1545") || !strings.Contains(sb.String(), "FOOTNOTE 1") {
+		t.Errorf("StateEquivalence output wrong:\n%s", sb.String())
+	}
+}

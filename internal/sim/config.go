@@ -1,0 +1,95 @@
+package sim
+
+import "fmt"
+
+// Config holds the simulated machine parameters. DefaultConfig
+// reproduces Table 3 of the paper.
+type Config struct {
+	// Nodes is the number of single-processor nodes.
+	Nodes int
+	// ProcessorHz is the processor clock rate.
+	ProcessorHz uint64
+	// CacheBlockBytes is the coherence granularity.
+	CacheBlockBytes uint64
+	// CacheBytes is the per-node cache capacity (Stache steals this
+	// much local memory for remote data).
+	CacheBytes uint64
+	// CacheAssoc is the cache associativity (1 = direct-mapped).
+	CacheAssoc int
+	// PageBytes is the page size used for round-robin homing.
+	PageBytes uint64
+	// MemoryAccessNs is the main memory access time.
+	MemoryAccessNs Time
+	// BusWidthBits and BusClockHz describe the per-node coherent
+	// memory bus (MOESI in the paper; we model its occupancy only).
+	BusWidthBits int
+	BusClockHz   uint64
+	// NetworkMsgBytes is the fixed network message size.
+	NetworkMsgBytes uint64
+	// NetworkLatencyNs is the point-to-point network latency.
+	NetworkLatencyNs Time
+	// NIAccessNs is the network interface access time.
+	NIAccessNs Time
+	// ProtocolOccupancyNs approximates the software protocol handler
+	// occupancy per message (Stache runs coherence in software).
+	ProtocolOccupancyNs Time
+}
+
+// DefaultConfig returns the Table 3 machine: 16 nodes, 1 GHz
+// processors, 64-byte blocks, 1 MB direct-mapped caches, 120 ns memory,
+// 256-bit 250 MHz buses, 256-byte network messages with 40 ns latency
+// and 60 ns NI access.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:               16,
+		ProcessorHz:         1_000_000_000,
+		CacheBlockBytes:     64,
+		CacheBytes:          1 << 20,
+		CacheAssoc:          1,
+		PageBytes:           4096,
+		MemoryAccessNs:      120,
+		BusWidthBits:        256,
+		BusClockHz:          250_000_000,
+		NetworkMsgBytes:     256,
+		NetworkLatencyNs:    40,
+		NIAccessNs:          60,
+		ProtocolOccupancyNs: 100,
+	}
+}
+
+// Validate checks internal consistency of the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("sim: Nodes=%d must be positive", c.Nodes)
+	case c.CacheBlockBytes == 0 || c.CacheBlockBytes&(c.CacheBlockBytes-1) != 0:
+		return fmt.Errorf("sim: CacheBlockBytes=%d must be a power of two", c.CacheBlockBytes)
+	case c.PageBytes == 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return fmt.Errorf("sim: PageBytes=%d must be a power of two", c.PageBytes)
+	case c.CacheBlockBytes > c.PageBytes:
+		return fmt.Errorf("sim: block size %d exceeds page size %d", c.CacheBlockBytes, c.PageBytes)
+	case c.CacheAssoc <= 0:
+		return fmt.Errorf("sim: CacheAssoc=%d must be positive", c.CacheAssoc)
+	case c.CacheBytes < c.CacheBlockBytes:
+		return fmt.Errorf("sim: CacheBytes=%d smaller than one block", c.CacheBytes)
+	}
+	return nil
+}
+
+// BusTransferNs returns the time to move n bytes across the local
+// memory bus, rounded up to whole bus cycles.
+func (c Config) BusTransferNs(n uint64) Time {
+	if c.BusWidthBits <= 0 || c.BusClockHz == 0 {
+		return 0
+	}
+	bytesPerCycle := uint64(c.BusWidthBits) / 8
+	cycles := (n + bytesPerCycle - 1) / bytesPerCycle
+	nsPerCycle := 1_000_000_000 / c.BusClockHz
+	return Time(cycles * nsPerCycle)
+}
+
+// MessageLatencyNs returns the end-to-end latency of one network
+// message: NI injection, wire latency, NI extraction.
+func (c Config) MessageLatencyNs() Time {
+	return c.NIAccessNs + c.NetworkLatencyNs + c.NIAccessNs
+}

@@ -1,0 +1,140 @@
+// Package sim provides the discrete-event simulation engine that drives
+// the machine model: a simulated clock, an event queue with
+// deterministic tie-breaking, and the Table 3 machine configuration.
+//
+// Determinism matters: two runs with the same workload seed must deliver
+// the identical coherence message stream, or predictor accuracies would
+// not be reproducible. Events scheduled for the same instant are
+// processed in the order they were scheduled (FIFO by a monotonically
+// increasing sequence number), never by map iteration or heap caprice.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in nanoseconds.
+type Time uint64
+
+// String renders times in nanoseconds.
+func (t Time) String() string { return fmt.Sprintf("%dns", uint64(t)) }
+
+// Event is a unit of scheduled work.
+type Event func()
+
+// item is one entry in the event heap.
+type item struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+// eventHeap implements container/heap ordered by (time, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value
+// is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns how many events have executed so far; useful both for
+// stats and for run-away detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past is
+// a programming error and panics, because it would silently reorder
+// causality.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn Event) { e.At(e.now+delay, fn) }
+
+// Halt stops Run before the next event fires. Events already scheduled
+// remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the single earliest event. It reports whether an event
+// fired (false means the queue was empty).
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	e.fired++
+	it.fn()
+	return true
+}
+
+// Run fires events until the queue drains, Halt is called, or maxEvents
+// events have fired (0 means no limit). It returns the number of events
+// fired by this call and an error if the event budget was exhausted,
+// which almost always means a protocol livelock.
+func (e *Engine) Run(maxEvents uint64) (uint64, error) {
+	e.halted = false
+	var fired uint64
+	for !e.halted {
+		if maxEvents != 0 && fired >= maxEvents {
+			return fired, fmt.Errorf("sim: event budget %d exhausted at t=%v (likely livelock)", maxEvents, e.now)
+		}
+		if !e.Step() {
+			return fired, nil
+		}
+		fired++
+	}
+	return fired, nil
+}
+
+// RunUntil fires events with timestamps <= deadline. Events scheduled
+// beyond the deadline stay queued; time advances to the deadline if the
+// queue drains early.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	var fired uint64
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		fired++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return fired
+}
+
+// MaxTime is the largest representable simulated time.
+const MaxTime Time = math.MaxUint64

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	// Events at the same timestamp must fire in scheduling order.
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.After(0, func() { trace = append(trace, e.Now()) })
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 10, 15}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineBudget(t *testing.T) {
+	var e Engine
+	// A self-perpetuating event: would run forever without a budget.
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.At(0, tick)
+	fired, err := e.Run(100)
+	if err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+	if fired != 100 {
+		t.Errorf("fired = %d, want 100", fired)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	fired, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 || count != 3 {
+		t.Errorf("fired=%d count=%d, want 3", fired, count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("Pending() = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(12)
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("got = %v", got)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now() = %v, want 12", e.Now())
+	}
+	e.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("got = %v after second RunUntil", got)
+	}
+}
+
+func TestEngineStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestEngineRandomizedOrdering(t *testing.T) {
+	// Property: any set of (time, insertion-order) pairs fires in
+	// lexicographic (time, insertion) order.
+	f := func(times []uint16) bool {
+		var e Engine
+		type key struct {
+			at  Time
+			ins int
+		}
+		var fired []key
+		for i, raw := range times {
+			at, i := Time(raw), i
+			e.At(at, func() { fired = append(fired, key{at, i}) })
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].ins < fired[b].ins
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigMatchesTable3(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 16 {
+		t.Errorf("Nodes = %d", c.Nodes)
+	}
+	if c.CacheBlockBytes != 64 {
+		t.Errorf("CacheBlockBytes = %d", c.CacheBlockBytes)
+	}
+	if c.CacheBytes != 1<<20 {
+		t.Errorf("CacheBytes = %d", c.CacheBytes)
+	}
+	if c.CacheAssoc != 1 {
+		t.Errorf("CacheAssoc = %d", c.CacheAssoc)
+	}
+	if c.MemoryAccessNs != 120 {
+		t.Errorf("MemoryAccessNs = %v", c.MemoryAccessNs)
+	}
+	if c.NetworkLatencyNs != 40 {
+		t.Errorf("NetworkLatencyNs = %v", c.NetworkLatencyNs)
+	}
+	if c.NIAccessNs != 60 {
+		t.Errorf("NIAccessNs = %v", c.NIAccessNs)
+	}
+	if c.NetworkMsgBytes != 256 {
+		t.Errorf("NetworkMsgBytes = %d", c.NetworkMsgBytes)
+	}
+	if c.BusWidthBits != 256 || c.BusClockHz != 250_000_000 {
+		t.Errorf("bus = %d bits @ %d Hz", c.BusWidthBits, c.BusClockHz)
+	}
+	if c.ProcessorHz != 1_000_000_000 {
+		t.Errorf("ProcessorHz = %d", c.ProcessorHz)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CacheBlockBytes = 48 },
+		func(c *Config) { c.CacheBlockBytes = 0 },
+		func(c *Config) { c.PageBytes = 1000 },
+		func(c *Config) { c.CacheBlockBytes = 8192; c.PageBytes = 4096 },
+		func(c *Config) { c.CacheAssoc = 0 },
+		func(c *Config) { c.CacheBytes = 8 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestBusTransfer(t *testing.T) {
+	c := DefaultConfig()
+	// 256-bit bus at 250 MHz = 32 bytes per 4 ns cycle.
+	if got := c.BusTransferNs(64); got != 8 {
+		t.Errorf("BusTransferNs(64) = %v, want 8ns", got)
+	}
+	if got := c.BusTransferNs(1); got != 4 {
+		t.Errorf("BusTransferNs(1) = %v, want 4ns", got)
+	}
+	if got := c.BusTransferNs(0); got != 0 {
+		t.Errorf("BusTransferNs(0) = %v, want 0", got)
+	}
+}
+
+func TestMessageLatency(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.MessageLatencyNs(); got != 160 {
+		t.Errorf("MessageLatencyNs = %v, want 160ns (60+40+60)", got)
+	}
+}

@@ -1,0 +1,133 @@
+package speculate
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// SelfInvalidator implements the second Table 2 action with a general
+// predictor: dynamic self-invalidation (Lebeck & Wood) driven by
+// Cosmos instead of a directed detector. A Cosmos predictor sits
+// beside each cache; whenever a block's predicted next incoming
+// message is an inval_rw_request — i.e. another node is about to pull
+// this exclusive block away — the cache returns the block to the
+// directory at the next synchronization point, before the request
+// arrives. The consumer's subsequent miss is then served by the
+// directory directly (two hops) instead of through a fetch-back (four
+// hops).
+//
+// Like the read-modify-write grant, the action moves the protocol
+// between two legal states (a replacement), so mis-predictions need no
+// recovery; a wrong self-invalidation costs the former owner one extra
+// miss (Section 4.3's replacement example).
+type SelfInvalidator struct {
+	m     *machine.Machine
+	preds []*core.Predictor
+	// candidates[n] holds the blocks node n should return at the next
+	// barrier.
+	candidates []map[coherence.Addr]bool
+	evicted    uint64
+}
+
+// AttachSelfInvalidation wires a SelfInvalidator into a machine. Call
+// before machine.Run.
+func AttachSelfInvalidation(m *machine.Machine, nodes int, cfg core.Config) (*SelfInvalidator, error) {
+	s := &SelfInvalidator{m: m}
+	for i := 0; i < nodes; i++ {
+		p, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.preds = append(s.preds, p)
+		s.candidates = append(s.candidates, make(map[coherence.Addr]bool))
+	}
+	m.AddObserver(s)
+	return s, nil
+}
+
+// SelfInvalidations returns how many blocks were proactively returned.
+func (s *SelfInvalidator) SelfInvalidations() uint64 { return s.evicted }
+
+// ObserveCache implements machine.Observer: train the node's predictor
+// and update the candidate set.
+func (s *SelfInvalidator) ObserveCache(n coherence.NodeID, msg coherence.Msg) {
+	p := s.preds[n]
+	p.Update(msg.Addr, msg.Tuple())
+	if pred, ok := p.Predict(msg.Addr); ok && pred.Type == coherence.InvalRWReq {
+		s.candidates[n][msg.Addr] = true
+	} else {
+		delete(s.candidates[n], msg.Addr)
+	}
+}
+
+// ObserveDirectory implements machine.Observer (unused).
+func (s *SelfInvalidator) ObserveDirectory(coherence.NodeID, coherence.Msg) {}
+
+// EndIteration implements machine.Observer: at the barrier — the
+// natural "right time" trigger of Section 4.2, when the block's
+// producer has finished its phase — return every candidate block.
+func (s *SelfInvalidator) EndIteration(int) {
+	for n, cands := range s.candidates {
+		node := coherence.NodeID(n)
+		for addr := range cands {
+			if s.m.Cache(node).State(addr) == stache.CacheReadWrite {
+				s.m.Cache(node).Evict(addr)
+				s.evicted++
+			}
+			delete(cands, addr)
+		}
+	}
+}
+
+// AccelerateDSI runs app twice — plain, and with Cosmos-driven
+// self-invalidation attached to every cache — and reports both runs.
+// Unlike the RMW action, self-invalidation trades message *count*
+// roughly evenly (a writeback pair replaces the fetch-back pair) but
+// removes the owner from the consumer's critical path, so the win
+// shows up in simulated time.
+func AccelerateDSI(app func() workload.App, mcfg sim.Config, opts stache.Options, pcfg core.Config) (*Comparison, error) {
+	run := func(attach bool) (RunStats, error) {
+		m, err := machine.New(mcfg, opts, app())
+		if err != nil {
+			return RunStats{}, err
+		}
+		var si *SelfInvalidator
+		if attach {
+			si, err = AttachSelfInvalidation(m, mcfg.Nodes, pcfg)
+			if err != nil {
+				return RunStats{}, err
+			}
+		}
+		if err := m.Run(2_000_000_000); err != nil {
+			return RunStats{}, err
+		}
+		ns := m.Network().Stats()
+		st := RunStats{
+			Messages:        ns.MessagesSent,
+			UpgradeRequests: ns.MessagesByType[coherence.UpgradeReq],
+			Invalidations: ns.MessagesByType[coherence.InvalROReq] +
+				ns.MessagesByType[coherence.InvalRWReq] +
+				ns.MessagesByType[coherence.DowngradeReq],
+			FinalTime: m.Engine().Now(),
+		}
+		if si != nil {
+			st.Speculations = si.SelfInvalidations()
+		}
+		return st, nil
+	}
+	base, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("speculate: baseline run: %w", err)
+	}
+	acc, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("speculate: self-invalidation run: %w", err)
+	}
+	return &Comparison{Baseline: base, Accelerated: acc}, nil
+}

@@ -1,0 +1,236 @@
+// Package speculate integrates the Cosmos predictor with the Stache
+// protocol along the lines of Section 4: predictors sit beside each
+// directory module, monitor its incoming message stream, and trigger
+// protocol actions on predictions.
+//
+// The paper deliberately evaluates prediction in isolation and only
+// sketches integration; this package implements the sketch far enough
+// to demonstrate the bottom line on two well-understood actions:
+//
+//   - the read-modify-write / migratory grant of Table 2 ("directory
+//     returns the block in exclusive state instead of shared"), wired
+//     through the stache.Oracle hook (see Accelerate);
+//   - dynamic self-invalidation driven by Cosmos instead of a directed
+//     detector (see SelfInvalidator and AccelerateDSI).
+//
+// Both actions move the protocol between two legal states, so
+// mis-predictions need no recovery machinery (Section 4.3's first
+// class): a wrong exclusive grant costs an extra invalidation later; a
+// wrong self-invalidation costs the former owner one extra miss. The
+// package also catalogues the full Table 2 action list with each
+// action's recovery class.
+package speculate
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// RecoveryClass is Section 4.3's taxonomy of mis-prediction recovery.
+type RecoveryClass int
+
+const (
+	// NoRecovery: the action moves the protocol between two legal
+	// states; a mis-prediction costs performance, never correctness.
+	NoRecovery RecoveryClass = iota
+	// ProtocolRollback: the protocol state moved to a future state not
+	// yet exposed to the processor; discard it on mis-prediction.
+	ProtocolRollback
+	// FullCheckpoint: both processor and protocol speculated; both
+	// must roll back to a checkpoint.
+	FullCheckpoint
+)
+
+// String names the class.
+func (r RecoveryClass) String() string {
+	switch r {
+	case NoRecovery:
+		return "no recovery needed"
+	case ProtocolRollback:
+		return "discard protocol future state"
+	case FullCheckpoint:
+		return "checkpoint and roll back processor + protocol"
+	}
+	return fmt.Sprintf("RecoveryClass(%d)", int(r))
+}
+
+// ActionSpec is one prediction->action pair in the style of Table 2.
+type ActionSpec struct {
+	Name       string
+	Prediction string
+	Action     string
+	Class      RecoveryClass
+	// Implemented marks the actions this package wires into the
+	// running protocol (the rest are catalogued for completeness).
+	Implemented bool
+}
+
+// Table2 returns the paper's example prediction->action pairs.
+func Table2() []ActionSpec {
+	return []ActionSpec{
+		{
+			Name:        "read-modify-write",
+			Prediction:  "after a get_ro_request from P, the next message is an upgrade_request from P",
+			Action:      "answer the read with the block in exclusive state",
+			Class:       NoRecovery,
+			Implemented: true,
+		},
+		{
+			Name:        "self-invalidation",
+			Prediction:  "the cache's next incoming message is an inval_rw_request",
+			Action:      "replace the block to the directory before the request arrives",
+			Class:       NoRecovery,
+			Implemented: true,
+		},
+		{
+			Name:       "producer push",
+			Prediction: "after a producer's write-back, consumers' get_ro_requests follow",
+			Action:     "forward the block to the predicted consumers speculatively",
+			Class:      ProtocolRollback,
+		},
+		{
+			Name:       "speculative protocol sequence",
+			Prediction: "the block's whole message signature",
+			Action:     "pre-execute protocol actions and buffer outgoing messages until the prediction commits",
+			Class:      ProtocolRollback,
+		},
+		{
+			Name:       "processor-coupled speculation",
+			Prediction: "an incoming data response",
+			Action:     "let a speculative processor consume predicted data before it arrives",
+			Class:      FullCheckpoint,
+		},
+	}
+}
+
+// Oracle adapts a Cosmos predictor to the stache.Oracle hook for one
+// directory module. It is trained on exactly the stream the directory
+// receives.
+type Oracle struct {
+	p *core.Predictor
+}
+
+// NewOracle builds an oracle around a fresh Cosmos predictor.
+func NewOracle(cfg core.Config) (*Oracle, error) {
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{p: p}, nil
+}
+
+// PredictNext implements stache.Oracle.
+func (o *Oracle) PredictNext(addr coherence.Addr) (coherence.Tuple, bool) {
+	return o.p.Predict(addr)
+}
+
+// Train feeds one received message into the predictor.
+func (o *Oracle) Train(addr coherence.Addr, t coherence.Tuple) { o.p.Update(addr, t) }
+
+// trainer routes directory observations to per-node oracles.
+type trainer struct {
+	oracles []*Oracle
+}
+
+func (t *trainer) ObserveCache(coherence.NodeID, coherence.Msg) {}
+func (t *trainer) ObserveDirectory(n coherence.NodeID, m coherence.Msg) {
+	t.oracles[n].Train(m.Addr, m.Tuple())
+}
+func (t *trainer) EndIteration(int) {}
+
+// RunStats summarizes one machine run for the acceleration comparison.
+type RunStats struct {
+	// Messages is the total network message count.
+	Messages uint64
+	// UpgradeRequests counts upgrade_request messages — the round
+	// trips the RMW action eliminates.
+	UpgradeRequests uint64
+	// Invalidations counts inval/downgrade requests sent by
+	// directories — mis-speculation shows up here.
+	Invalidations uint64
+	// Speculations counts exclusive-for-shared grants.
+	Speculations uint64
+	// FinalTime is the simulated completion time.
+	FinalTime sim.Time
+}
+
+// Comparison is the outcome of Accelerate: the same workload run with
+// and without prediction-triggered actions.
+type Comparison struct {
+	Baseline    RunStats
+	Accelerated RunStats
+}
+
+// MessageReduction returns the relative reduction in total messages.
+func (c Comparison) MessageReduction() float64 {
+	if c.Baseline.Messages == 0 {
+		return 0
+	}
+	return 1 - float64(c.Accelerated.Messages)/float64(c.Baseline.Messages)
+}
+
+// TimeReduction returns the relative reduction in simulated runtime.
+func (c Comparison) TimeReduction() float64 {
+	if c.Baseline.FinalTime == 0 {
+		return 0
+	}
+	return 1 - float64(c.Accelerated.FinalTime)/float64(c.Baseline.FinalTime)
+}
+
+// Accelerate runs app twice on the given machine configuration — once
+// with plain Stache, once with a Cosmos oracle attached to every
+// directory driving the read-modify-write action — and reports both
+// runs' statistics.
+func Accelerate(app func() workload.App, mcfg sim.Config, opts stache.Options, pcfg core.Config) (*Comparison, error) {
+	run := func(attach bool) (RunStats, error) {
+		m, err := machine.New(mcfg, opts, app())
+		if err != nil {
+			return RunStats{}, err
+		}
+		if attach {
+			oracles := make([]*Oracle, mcfg.Nodes)
+			for i := range oracles {
+				o, err := NewOracle(pcfg)
+				if err != nil {
+					return RunStats{}, err
+				}
+				oracles[i] = o
+				m.Directory(coherence.NodeID(i)).AttachOracle(o)
+			}
+			m.AddObserver(&trainer{oracles: oracles})
+		}
+		if err := m.Run(2_000_000_000); err != nil {
+			return RunStats{}, err
+		}
+		ns := m.Network().Stats()
+		var spec uint64
+		for i := 0; i < mcfg.Nodes; i++ {
+			spec += m.Directory(coherence.NodeID(i)).Speculations()
+		}
+		return RunStats{
+			Messages:        ns.MessagesSent,
+			UpgradeRequests: ns.MessagesByType[coherence.UpgradeReq],
+			Invalidations: ns.MessagesByType[coherence.InvalROReq] +
+				ns.MessagesByType[coherence.InvalRWReq] +
+				ns.MessagesByType[coherence.DowngradeReq],
+			Speculations: spec,
+			FinalTime:    m.Engine().Now(),
+		}, nil
+	}
+
+	base, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("speculate: baseline run: %w", err)
+	}
+	acc, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("speculate: accelerated run: %w", err)
+	}
+	return &Comparison{Baseline: base, Accelerated: acc}, nil
+}

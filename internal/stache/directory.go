@@ -1,0 +1,498 @@
+package stache
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// dirEntry is the directory state for one memory block homed at this
+// node: the full-map sharer set, the exclusive owner (if any), and —
+// while a transaction is collecting invalidation acknowledgments — the
+// in-flight request plus a FIFO of requests that arrived meanwhile.
+type dirEntry struct {
+	state    dirState
+	sharers  nodeSet
+	owner    coherence.NodeID
+	current  pendingReq
+	acksLeft int
+	queue    []pendingReq
+}
+
+// Directory is the directory-controller half of the protocol at one
+// node. It owns the directory entries for every page homed at the node
+// (round-robin by page number) and also serves the home node's own
+// accesses to those pages without generating messages.
+type Directory struct {
+	node    coherence.NodeID
+	geom    coherence.Geometry
+	sender  Sender
+	opts    Options
+	observe func(coherence.Msg)
+	entries map[coherence.Addr]*dirEntry
+
+	// stats
+	transactions uint64
+	invalsSent   uint64
+	localHits    uint64
+	queued       uint64
+
+	oracle       Oracle
+	speculations uint64
+}
+
+// AttachOracle installs a predictor beside this directory, enabling
+// the read-modify-write acceleration of Section 4 / Table 2: when a
+// read miss arrives and the oracle predicts the next message for the
+// block will be an upgrade_request from the same requestor, the
+// directory answers the read with an exclusive copy, eliminating the
+// upgrade round-trip. The action is taken only when the requestor
+// would be the sole holder, so it moves the protocol between two legal
+// states and needs no recovery on mis-prediction (the first class of
+// Section 4.3) — a wrong guess merely costs an invalidation later.
+func (d *Directory) AttachOracle(o Oracle) { d.oracle = o }
+
+// Speculations returns how many read misses were answered exclusively
+// on the oracle's advice.
+func (d *Directory) Speculations() uint64 { return d.speculations }
+
+// speculateRMW reports whether a read by req should be served with an
+// exclusive grant.
+func (d *Directory) speculateRMW(addr coherence.Addr, req pendingReq) bool {
+	if d.oracle == nil || req.node == d.node {
+		return false
+	}
+	pred, ok := d.oracle.PredictNext(addr)
+	return ok && pred.Sender == req.node && pred.Type == coherence.UpgradeReq
+}
+
+// NewDirectory creates the directory controller for node. observe may
+// be nil.
+func NewDirectory(node coherence.NodeID, geom coherence.Geometry, sender Sender, opts Options, observe func(coherence.Msg)) *Directory {
+	if observe == nil {
+		observe = func(coherence.Msg) {}
+	}
+	return &Directory{
+		node:    node,
+		geom:    geom,
+		sender:  sender,
+		opts:    opts,
+		observe: observe,
+		entries: make(map[coherence.Addr]*dirEntry),
+	}
+}
+
+// EntryCount returns how many blocks this directory has ever tracked.
+func (d *Directory) EntryCount() int { return len(d.entries) }
+
+// Stats returns (transactions started, invalidation/downgrade requests
+// sent, local accesses served without messages, requests queued behind
+// a busy entry).
+func (d *Directory) Stats() (transactions, invalsSent, localHits, queued uint64) {
+	return d.transactions, d.invalsSent, d.localHits, d.queued
+}
+
+func (d *Directory) entry(addr coherence.Addr) *dirEntry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &dirEntry{owner: coherence.NoNode}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Sharers returns the current sharer list of addr (for tests and
+// debugging). The owner of an exclusive block is reported as the sole
+// sharer.
+func (d *Directory) Sharers(addr coherence.Addr) []coherence.NodeID {
+	e, ok := d.entries[d.geom.Block(addr)]
+	if !ok {
+		return nil
+	}
+	if e.state == dirExclusive {
+		return []coherence.NodeID{e.owner}
+	}
+	var out []coherence.NodeID
+	e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) { out = append(out, n) })
+	return out
+}
+
+// EntryState returns a canonical string describing addr's stable
+// directory state — "idle", "shared{P1,P3}", "exclusive{P2}", or
+// "busy" — for observers that study protocol-*state* prediction
+// (footnote 1 of the paper considers predicting the next coherence
+// protocol state instead of the next message and argues the two are
+// equivalent; the StateEquivalence experiment tests that claim).
+func (d *Directory) EntryState(addr coherence.Addr) string {
+	e, ok := d.entries[d.geom.Block(addr)]
+	if !ok {
+		return "idle"
+	}
+	switch e.state {
+	case dirIdle:
+		return "idle"
+	case dirBusy:
+		return "busy"
+	case dirExclusive:
+		return "exclusive{" + e.owner.String() + "}"
+	default:
+		s := "shared{"
+		first := true
+		e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+			if !first {
+				s += ","
+			}
+			s += n.String()
+			first = false
+		})
+		return s + "}"
+	}
+}
+
+// homeState reports the home node's own access rights to addr, derived
+// from directory state (the home node has no separate cache line).
+func (d *Directory) homeState(addr coherence.Addr) CacheState {
+	e, ok := d.entries[addr]
+	if !ok {
+		return CacheInvalid
+	}
+	switch {
+	case e.state == dirExclusive && e.owner == d.node:
+		return CacheReadWrite
+	case e.state == dirShared && e.sharers.has(d.node):
+		return CacheReadOnly
+	case e.state == dirIdle:
+		// Idle means no *cached* copies; the home node reads memory
+		// directly, so idle blocks are readable (but not writable
+		// without a directory transition). Report invalid so the cache
+		// layer routes the access through LocalAccess, which grants it.
+		return CacheInvalid
+	}
+	return CacheInvalid
+}
+
+// LocalAccess serves a load or store by the home node itself. No
+// messages are exchanged with the local directory (Section 5.1), but
+// remote copies may need to be invalidated. done runs when the access
+// is globally ordered; for uncontended blocks that is synchronous.
+func (d *Directory) LocalAccess(addr coherence.Addr, write bool, done func()) {
+	addr = d.geom.Block(addr)
+	if d.geom.Home(addr) != d.node {
+		panic(fmt.Sprintf("stache: %v LocalAccess to %#x homed at %v", d.node, uint64(addr), d.geom.Home(addr)))
+	}
+	e := d.entry(addr)
+	kind := reqRead
+	if write {
+		kind = reqWrite
+	}
+	req := pendingReq{node: d.node, kind: kind, done: done}
+	if e.state == dirBusy {
+		d.queued++
+		e.queue = append(e.queue, req)
+		return
+	}
+	d.start(addr, e, req)
+}
+
+// Deliver handles a message from a cache controller. It must only be
+// called with directory-bound message types.
+func (d *Directory) Deliver(msg coherence.Msg) {
+	if !msg.Type.DirectoryBound() {
+		panic(fmt.Sprintf("stache: directory received %v", msg))
+	}
+	if d.geom.Home(msg.Addr) != d.node {
+		panic(fmt.Sprintf("stache: %v received %v for block homed at %v", d.node, msg, d.geom.Home(msg.Addr)))
+	}
+	d.observe(msg)
+	e := d.entry(msg.Addr)
+
+	switch msg.Type {
+	case coherence.GetROReq, coherence.GetRWReq, coherence.UpgradeReq, coherence.WritebackReq:
+		var kind reqKind
+		switch msg.Type {
+		case coherence.GetROReq:
+			kind = reqRead
+		case coherence.GetRWReq:
+			kind = reqWrite
+		case coherence.UpgradeReq:
+			kind = reqUpgrade
+		case coherence.WritebackReq:
+			kind = reqWriteback
+		}
+		req := pendingReq{node: msg.Src, kind: kind}
+		if e.state == dirBusy {
+			d.queued++
+			e.queue = append(e.queue, req)
+			return
+		}
+		d.start(msg.Addr, e, req)
+
+	case coherence.InvalROResp, coherence.InvalRWResp, coherence.DowngradeResp:
+		if e.state != dirBusy || e.acksLeft <= 0 {
+			panic(fmt.Sprintf("stache: %v unexpected ack %v (state %v, acksLeft %d)", d.node, msg, e.state, e.acksLeft))
+		}
+		e.acksLeft--
+		if e.acksLeft == 0 {
+			d.finish(msg.Addr, e)
+		}
+
+	default:
+		panic(fmt.Sprintf("stache: directory cannot handle %v", msg))
+	}
+}
+
+// start begins serving req on a non-busy entry. If remote copies must
+// be invalidated or downgraded first, the entry goes busy and the grant
+// is deferred to finish(); otherwise the grant is immediate.
+func (d *Directory) start(addr coherence.Addr, e *dirEntry, req pendingReq) {
+	d.transactions++
+	switch req.kind {
+	case reqRead:
+		d.startRead(addr, e, req)
+	case reqWrite:
+		d.startWrite(addr, e, req, coherence.GetRWResp)
+	case reqUpgrade:
+		d.startUpgrade(addr, e, req)
+	case reqWriteback:
+		d.startWriteback(addr, e, req)
+	}
+}
+
+func (d *Directory) startRead(addr coherence.Addr, e *dirEntry, req pendingReq) {
+	switch e.state {
+	case dirIdle:
+		if d.speculateRMW(addr, req) {
+			d.speculations++
+			e.state = dirExclusive
+			e.owner = req.node
+			d.grant(addr, req, coherence.GetRWResp)
+			return
+		}
+		e.state = dirShared
+		e.sharers.add(req.node)
+		d.grant(addr, req, coherence.GetROResp)
+
+	case dirShared:
+		e.sharers.add(req.node)
+		d.grant(addr, req, coherence.GetROResp)
+
+	case dirExclusive:
+		if e.owner == req.node {
+			// A read by the current owner: only reachable for the home
+			// node (remote owners hit in their cache). Keep exclusive.
+			d.grant(addr, req, coherence.GetROResp)
+			return
+		}
+		if e.owner == d.node {
+			// Owner is the home node itself: reclaim without messages.
+			d.demoteLocalOwner(e)
+			if e.sharers.empty() && d.speculateRMW(addr, req) {
+				d.speculations++
+				e.state = dirExclusive
+				e.owner = req.node
+				d.grant(addr, req, coherence.GetRWResp)
+				return
+			}
+			e.sharers.add(req.node)
+			e.state = dirShared
+			d.grant(addr, req, coherence.GetROResp)
+			return
+		}
+		// Remote owner: fetch the block back. Half-migratory
+		// invalidates the owner; the DASH-like variant downgrades it.
+		// Go busy *before* sending: the ack may arrive reentrantly in
+		// zero-latency configurations.
+		t := coherence.InvalRWReq
+		if !d.opts.HalfMigratory {
+			t = coherence.DowngradeReq
+		}
+		grant := coherence.MsgInvalid
+		if d.forwardable(req) {
+			grant = coherence.GetROResp
+			req.forwarded = true
+		}
+		owner := e.owner
+		e.current = req
+		e.acksLeft = 1
+		e.state = dirBusy
+		d.sendInval(owner, t, addr, req.node, grant)
+
+	default:
+		panic(fmt.Sprintf("stache: startRead in state %v", e.state))
+	}
+}
+
+// startWrite serves a write (or upgrade converted to a write); grantT
+// is the response type to use on completion.
+func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq, grantT coherence.MsgType) {
+	req.grantT = grantT
+	switch e.state {
+	case dirIdle:
+		e.state = dirExclusive
+		e.owner = req.node
+		d.grant(addr, req, grantT)
+
+	case dirExclusive:
+		if e.owner == req.node {
+			d.grant(addr, req, grantT)
+			return
+		}
+		if e.owner == d.node {
+			d.demoteLocalOwner(e)
+			e.state = dirExclusive
+			e.owner = req.node
+			d.grant(addr, req, grantT)
+			return
+		}
+		grant := coherence.MsgInvalid
+		if d.forwardable(req) {
+			grant = req.grantT
+			req.forwarded = true
+		}
+		owner := e.owner
+		e.current = req
+		e.acksLeft = 1
+		e.state = dirBusy
+		d.sendInval(owner, coherence.InvalRWReq, addr, req.node, grant)
+
+	case dirShared:
+		// Invalidate every remote sharer except the requestor. A home-
+		// node copy is dropped silently (no message to ourselves).
+		var targets []coherence.NodeID
+		e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+			if n == req.node || n == d.node {
+				return
+			}
+			targets = append(targets, n)
+		})
+		if len(targets) == 0 {
+			e.state = dirExclusive
+			e.sharers = 0
+			e.owner = req.node
+			d.grant(addr, req, grantT)
+			return
+		}
+		// Go busy before sending (reentrant acks).
+		e.current = req
+		e.acksLeft = len(targets)
+		e.state = dirBusy
+		for _, n := range targets {
+			d.sendInval(n, coherence.InvalROReq, addr, req.node, coherence.MsgInvalid)
+		}
+
+	default:
+		panic(fmt.Sprintf("stache: startWrite in state %v", e.state))
+	}
+}
+
+func (d *Directory) startUpgrade(addr coherence.Addr, e *dirEntry, req pendingReq) {
+	// The upgrade race (Section "Obtaining Predictions"): if the
+	// requestor's shared copy was invalidated after it sent the
+	// upgrade_request, the upgrade must be served as a full write so
+	// the requestor receives data. The requestor accepts
+	// get_rw_response while waiting for an upgrade.
+	if e.state == dirShared && e.sharers.has(req.node) {
+		d.startWrite(addr, e, req, coherence.UpgradeResp)
+		return
+	}
+	d.startWrite(addr, e, req, coherence.GetRWResp)
+}
+
+func (d *Directory) startWriteback(addr coherence.Addr, e *dirEntry, req pendingReq) {
+	if e.state == dirExclusive && e.owner == req.node {
+		e.state = dirIdle
+		e.owner = coherence.NoNode
+	}
+	// Stale writebacks (the owner was already invalidated by a racing
+	// transaction) are acknowledged and otherwise ignored.
+	d.grant(addr, req, coherence.WritebackAck)
+}
+
+// demoteLocalOwner strips the home node's exclusive ownership without
+// messages; the data is already in home memory.
+func (d *Directory) demoteLocalOwner(e *dirEntry) {
+	e.owner = coherence.NoNode
+	e.sharers = 0
+	if !d.opts.HalfMigratory {
+		// DASH-like: the home keeps a read-only copy.
+		e.sharers.add(d.node)
+	}
+	e.state = dirShared
+}
+
+// finish completes the busy transaction once all acks have arrived.
+func (d *Directory) finish(addr coherence.Addr, e *dirEntry) {
+	req := e.current
+	e.current = pendingReq{}
+	switch req.kind {
+	case reqRead:
+		e.sharers = 0
+		if !d.opts.HalfMigratory && e.owner != coherence.NoNode {
+			// Downgraded owner keeps a shared copy.
+			e.sharers.add(e.owner)
+		}
+		e.owner = coherence.NoNode
+		if !req.forwarded && e.sharers.empty() && d.speculateRMW(addr, req) {
+			// Half-migratory fetch-back left the requestor sole holder:
+			// the predicted upgrade makes an exclusive grant the better
+			// answer (the migratory-protocol action of Table 2).
+			d.speculations++
+			e.owner = req.node
+			e.state = dirExclusive
+			d.grantDeferred(addr, e, req, coherence.GetRWResp)
+			return
+		}
+		e.sharers.add(req.node)
+		e.state = dirShared
+		d.grantDeferred(addr, e, req, coherence.GetROResp)
+
+	case reqWrite, reqUpgrade:
+		e.sharers = 0
+		e.owner = req.node
+		e.state = dirExclusive
+		d.grantDeferred(addr, e, req, req.grantT)
+
+	default:
+		panic(fmt.Sprintf("stache: finish with kind %d", req.kind))
+	}
+}
+
+// grantDeferred grants a completed transaction and then drains the
+// entry's queue, which may immediately start (and even synchronously
+// complete) further transactions.
+func (d *Directory) grantDeferred(addr coherence.Addr, e *dirEntry, req pendingReq, t coherence.MsgType) {
+	if !req.forwarded {
+		d.grant(addr, req, t)
+	}
+	for e.state != dirBusy && len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		d.start(addr, e, next)
+	}
+}
+
+// grant completes req: remote requestors get a response message; the
+// home node's own accesses complete by callback.
+func (d *Directory) grant(addr coherence.Addr, req pendingReq, t coherence.MsgType) {
+	if req.done != nil {
+		d.localHits++
+		req.done()
+		return
+	}
+	d.sender.Send(coherence.Msg{Src: d.node, Dst: req.node, Type: t, Addr: addr})
+}
+
+// sendInval issues an invalidation or downgrade. A valid grant type
+// asks the owner to forward the data directly to the requestor
+// (Origin-style three-hop flow).
+func (d *Directory) sendInval(dst coherence.NodeID, t coherence.MsgType, addr coherence.Addr, requestor coherence.NodeID, grant coherence.MsgType) {
+	d.invalsSent++
+	d.sender.Send(coherence.Msg{Src: d.node, Dst: dst, Type: t, Addr: addr, Requestor: requestor, Grant: grant})
+}
+
+// forwardable reports whether this transaction's data can be served by
+// the current remote owner directly (Origin-style). Local requestors
+// complete by callback and always go through the directory.
+func (d *Directory) forwardable(req pendingReq) bool {
+	return d.opts.Forwarding && req.done == nil
+}

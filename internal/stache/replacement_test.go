@@ -1,0 +1,151 @@
+package stache
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// boundedSystem builds a loopback system whose caches hold at most
+// blocks lines with the given associativity.
+func boundedSystem(t *testing.T, n, blocks, assoc int) *loopback {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.CacheBlocks = blocks
+	opts.CacheAssoc = assoc
+	return newSystem(t, n, opts)
+}
+
+// TestReplacementEvictsLRU: a direct-mapped 2-set cache holding blocks
+// A and B evicts A when C (conflicting with A) arrives.
+func TestReplacementEvictsLRU(t *testing.T) {
+	l := boundedSystem(t, 4, 2, 1)
+	// All blocks homed at node 0; distinct block indices chosen so A
+	// and C share set 0 (even block index) while B sits in set 1.
+	pageBase := blockHomedAt(l.geom, 0)
+	blkA := pageBase       // block index 0 -> set 0
+	blkB := pageBase + 64  // block index 1 -> set 1
+	blkC := pageBase + 128 // block index 2 -> set 0
+
+	l.access(1, blkA, false)
+	l.access(1, blkB, false)
+	l.reset()
+	l.access(1, blkC, false) // conflicts with A
+	if got := l.caches[1].State(blkA); got != CacheInvalid {
+		t.Errorf("A state = %v, want evicted", got)
+	}
+	if got := l.caches[1].State(blkB); got != CacheReadOnly {
+		t.Errorf("B state = %v, want resident", got)
+	}
+	if got := l.caches[1].State(blkC); got != CacheReadOnly {
+		t.Errorf("C state = %v, want resident", got)
+	}
+	if l.caches[1].Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", l.caches[1].Evictions())
+	}
+	// The read-only eviction was silent: only C's fetch on the wire.
+	want := []coherence.MsgType{coherence.GetROReq, coherence.GetROResp}
+	if !eqTypes(l.types(), want) {
+		t.Errorf("flow = %v, want %v", l.types(), want)
+	}
+}
+
+// TestReplacementWritesBackDirtyLines: evicting an exclusive line
+// produces a writeback, and the next reader gets the block from the
+// (now idle) directory without a fetch-back.
+func TestReplacementWritesBack(t *testing.T) {
+	l := boundedSystem(t, 4, 1, 1)
+	pageBase := blockHomedAt(l.geom, 0)
+	blkA := pageBase
+	blkB := pageBase + 64
+
+	l.access(1, blkA, true) // exclusive
+	l.reset()
+	l.access(1, blkB, false) // evicts A -> writeback
+	types := l.types()
+	if types[0] != coherence.WritebackReq || types[1] != coherence.WritebackAck {
+		t.Fatalf("flow = %v, want writeback first", types)
+	}
+	l.reset()
+	l.access(2, blkA, false)
+	want := []coherence.MsgType{coherence.GetROReq, coherence.GetROResp}
+	if !eqTypes(l.types(), want) {
+		t.Errorf("post-writeback read = %v, want clean fetch", l.types())
+	}
+}
+
+// TestAccessDuringWritebackDefers: re-touching a block whose writeback
+// is in flight completes after the ack, not by protocol violation.
+// The loopback is synchronous so the ack arrives inside the evicting
+// access; exercise the deferral through the machine instead (covered
+// by the machine fuzz tests with bounded caches); here we at least
+// check LRU touch ordering keeps hot lines resident.
+func TestLRUTouchKeepsHotLines(t *testing.T) {
+	l := boundedSystem(t, 4, 2, 2) // one set, two ways
+	pageBase := blockHomedAt(l.geom, 0)
+	blkA := pageBase
+	blkB := pageBase + 64
+	blkC := pageBase + 128
+
+	l.access(1, blkA, false)
+	l.access(1, blkB, false)
+	l.access(1, blkA, false) // touch A: B becomes LRU
+	l.access(1, blkC, false) // evicts B
+	if got := l.caches[1].State(blkA); got != CacheReadOnly {
+		t.Errorf("A evicted despite being hot")
+	}
+	if got := l.caches[1].State(blkB); got != CacheInvalid {
+		t.Errorf("B state = %v, want evicted", got)
+	}
+}
+
+// TestUnboundedCacheNeverEvicts: the Stache default.
+func TestUnboundedCacheNeverEvicts(t *testing.T) {
+	l := newSystem(t, 4, DefaultOptions())
+	base := blockHomedAt(l.geom, 0)
+	remote := 0
+	for i := 0; i < 100; i++ {
+		addr := base + coherence.Addr(i*64)
+		if l.geom.Home(addr) != 1 {
+			remote++ // blocks homed at the accessor need no cache line
+		}
+		l.access(1, addr, false)
+	}
+	if l.caches[1].Evictions() != 0 {
+		t.Errorf("Evictions = %d on unbounded cache", l.caches[1].Evictions())
+	}
+	if l.caches[1].LineCount() != remote {
+		t.Errorf("LineCount = %d, want %d", l.caches[1].LineCount(), remote)
+	}
+}
+
+// TestStaleShareAfterSilentDrop: after a silent RO eviction the
+// directory still lists the evictee; a later writer's invalidation is
+// acknowledged by the (now invalid) cache without wedging.
+func TestStaleSharerAfterSilentDrop(t *testing.T) {
+	l := boundedSystem(t, 4, 1, 1)
+	pageBase := blockHomedAt(l.geom, 0)
+	blkA := pageBase
+	blkB := pageBase + 64
+
+	l.access(1, blkA, false) // P1 shares A
+	l.access(1, blkB, false) // silently drops A
+	// Directory still thinks P1 shares A.
+	if sh := l.dirs[0].Sharers(blkA); len(sh) != 1 || sh[0] != 1 {
+		t.Fatalf("sharers = %v", sh)
+	}
+	l.reset()
+	l.access(2, blkA, true) // writer: stale invalidation to P1
+	want := []coherence.MsgType{
+		coherence.GetRWReq,
+		coherence.InvalROReq,
+		coherence.InvalROResp, // acked while invalid
+		coherence.GetRWResp,
+	}
+	if !eqTypes(l.types(), want) {
+		t.Fatalf("flow = %v, want %v", l.types(), want)
+	}
+	if got := l.caches[2].State(blkA); got != CacheReadWrite {
+		t.Errorf("P2 state = %v", got)
+	}
+}

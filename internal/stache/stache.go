@@ -1,0 +1,209 @@
+// Package stache implements the Wisconsin Stache directory protocol as
+// described in Sections 2.1 and 5.1 of the paper: a full-map,
+// write-invalidate directory protocol in which part of each node's
+// local memory acts as a cache for remote data.
+//
+// Protocol properties reproduced here:
+//
+//   - Full-map: each directory entry records the exact set of sharers
+//     (a bitmask, so up to 64 nodes).
+//   - Write-invalidate: a writer invalidates all outstanding copies.
+//   - Half-migratory optimization (configurable): on a read or write
+//     miss to a block held exclusive elsewhere, the directory asks the
+//     owner to *invalidate* its copy (inval_rw_request), not to
+//     downgrade it to shared. Disabling the option yields the DASH-like
+//     behaviour (downgrade_request on read misses).
+//   - Round-robin page homing: page X is homed on node X mod N; the
+//     home node's directory doubles as its local cache, so accesses by
+//     the home node generate no messages (Section 5.1).
+//   - No replacement of cache pages by default (Section 5.1), so
+//     predictor history for a block persists for the whole run.
+//   - Blocking directory: a directory entry serves one transaction at a
+//     time; requests arriving while the entry is busy are queued FIFO.
+//     Combined with per-link FIFO delivery in the network this keeps
+//     the protocol race-free except for the classic upgrade race, which
+//     is resolved by converting a stale upgrade_request into a
+//     get_rw_request (see handleUpgrade).
+//
+// The package exposes observation hooks so that predictors and trace
+// writers can watch the exact stream of *incoming* messages at each
+// cache and directory — the stream Cosmos is trained on.
+package stache
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Options selects protocol variants.
+type Options struct {
+	// HalfMigratory enables the Stache half-migratory optimization
+	// (Section 5.1): exclusive blocks are invalidated, not downgraded,
+	// when another node misses on them. Stache runs with this on.
+	HalfMigratory bool
+	// CacheBlocks bounds how many remote blocks a cache may hold; 0
+	// means unbounded, which is Stache's configuration (Section 5.1:
+	// "Stache does not replace pages ... from the portion of local
+	// memory it designates as a cache"). A positive value enables
+	// set-associative replacement so non-Stache protocols — the ones
+	// Section 3.7 warns may lose predictor history on replacement —
+	// can be studied.
+	CacheBlocks int
+	// CacheAssoc is the associativity used when CacheBlocks is
+	// positive (1 = direct-mapped, matching Table 3's machine).
+	CacheAssoc int
+	// Forwarding enables the SGI Origin-style three-hop flow the paper
+	// contrasts with Stache in Section 2.1: when a miss targets a
+	// block owned exclusively by another cache, the directory asks the
+	// owner to send the data *directly* to the requestor (cutting one
+	// message off the critical path) and only the ownership
+	// acknowledgment returns to the directory. The paper asserts this
+	// "should have no first-order effect on coherence prediction's
+	// usability"; the ForwardingComparison experiment tests that.
+	Forwarding bool
+}
+
+// Oracle is the hook through which a predictor sitting beside a
+// directory (Section 4's architecture: "Predictors would sit beside
+// each standard directory and cache module") feeds predictions into
+// the protocol. PredictNext returns the predicted <sender, type> of
+// the next message the directory will receive for the block, if the
+// predictor has one.
+type Oracle interface {
+	PredictNext(addr coherence.Addr) (coherence.Tuple, bool)
+}
+
+// DefaultOptions returns the configuration the paper evaluated:
+// half-migratory enabled.
+func DefaultOptions() Options { return Options{HalfMigratory: true} }
+
+// Sender abstracts the interconnect so the protocol can be unit-tested
+// without a full machine.
+type Sender interface {
+	Send(msg coherence.Msg)
+}
+
+// Observer watches the incoming coherence message stream at a node.
+// ObserveCache fires when the node's cache controller receives a
+// message from a directory; ObserveDirectory fires when the node's
+// directory controller receives a message from a cache. Observation
+// happens at reception time, before any protocol processing (and in
+// particular before a busy directory queues the message), because that
+// is the stream a hardware predictor sitting beside the controller
+// would see.
+type Observer interface {
+	ObserveCache(node coherence.NodeID, msg coherence.Msg)
+	ObserveDirectory(node coherence.NodeID, msg coherence.Msg)
+}
+
+// nodeSet is a full-map sharer set over at most 64 nodes.
+type nodeSet uint64
+
+func (s nodeSet) has(n coherence.NodeID) bool { return s&(1<<uint(n)) != 0 }
+func (s *nodeSet) add(n coherence.NodeID)     { *s |= 1 << uint(n) }
+func (s *nodeSet) remove(n coherence.NodeID)  { *s &^= 1 << uint(n) }
+func (s nodeSet) empty() bool                 { return s == 0 }
+func (s nodeSet) count() int {
+	c := 0
+	for v := s; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+// forEach visits members in ascending node order (deterministic).
+func (s nodeSet) forEach(n int, f func(coherence.NodeID)) {
+	for i := 0; i < n; i++ {
+		if s.has(coherence.NodeID(i)) {
+			f(coherence.NodeID(i))
+		}
+	}
+}
+
+// only reports whether the set contains exactly {n}.
+func (s nodeSet) only(n coherence.NodeID) bool { return s == 1<<uint(n) }
+
+// dirState enumerates stable directory entry states.
+type dirState uint8
+
+const (
+	dirIdle dirState = iota // no cached copies
+	dirShared
+	dirExclusive
+	dirBusy // serving a transaction; queued requests wait
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirIdle:
+		return "idle"
+	case dirShared:
+		return "shared"
+	case dirExclusive:
+		return "exclusive"
+	case dirBusy:
+		return "busy"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
+
+// reqKind classifies queued directory work.
+type reqKind uint8
+
+const (
+	reqRead reqKind = iota
+	reqWrite
+	reqUpgrade
+	reqWriteback
+)
+
+// pendingReq is a directory request that is queued or in flight.
+// done is non-nil exactly for local (home-node) accesses, which
+// complete by callback instead of by response message. grantT is the
+// response type to send on completion; it is fixed when the
+// transaction starts (an upgrade converted to a fetch by the upgrade
+// race grants get_rw_response, not upgrade_response).
+type pendingReq struct {
+	node   coherence.NodeID
+	kind   reqKind
+	grantT coherence.MsgType
+	done   func()
+	// forwarded marks a transaction whose data the previous owner
+	// sends directly to the requestor (Options.Forwarding); the
+	// directory then completes the transaction without a grant message.
+	forwarded bool
+}
+
+// CacheState enumerates the stable states of a block in a cache
+// (Section 2.1: invalid, shared/read-only, exclusive/read-write).
+type CacheState uint8
+
+const (
+	CacheInvalid CacheState = iota
+	CacheReadOnly
+	CacheReadWrite
+)
+
+func (s CacheState) String() string {
+	switch s {
+	case CacheInvalid:
+		return "invalid"
+	case CacheReadOnly:
+		return "read-only"
+	case CacheReadWrite:
+		return "read-write"
+	}
+	return fmt.Sprintf("CacheState(%d)", uint8(s))
+}
+
+// pendingKind enumerates outstanding cache-side transactions.
+type pendingKind uint8
+
+const (
+	pendNone pendingKind = iota
+	pendFetchRO
+	pendFetchRW
+	pendUpgrade
+	pendWriteback
+)

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Binary trace format:
+//
+//	magic "CTRC" | version u16 | nodes u16 | iterations u32 |
+//	appLen u16 | app bytes | count u64 | records...
+//
+// Each record is 18 bytes little-endian: node i16, side u8, sender
+// i16, type u8, addr u64, iter i32. The format is versioned so traces
+// written by older builds fail loudly instead of decoding garbage.
+
+const (
+	traceMagic   = "CTRC"
+	traceVersion = 1
+	recordSize   = 18
+)
+
+// Write serializes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	if len(t.App) > 1<<16-1 {
+		return fmt.Errorf("trace: app name of %d bytes does not fit the header", len(t.App))
+	}
+	if t.Nodes < 0 || t.Nodes > 1<<16-1 {
+		return fmt.Errorf("trace: node count %d does not fit the header", t.Nodes)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [14]byte
+	binary.LittleEndian.PutUint16(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(t.Nodes))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Iterations))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(t.App)))
+	// hdr[10:14] reserved (zero).
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.App); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Records)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint16(rec[0:], uint16(r.Node))
+		rec[2] = byte(r.Side)
+		binary.LittleEndian.PutUint16(rec[3:], uint16(r.Sender))
+		rec[5] = byte(r.Type)
+		binary.LittleEndian.PutUint64(rec[6:], uint64(r.Addr))
+		binary.LittleEndian.PutUint32(rec[14:], uint32(r.Iter))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [14]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", v, traceVersion)
+	}
+	t := &Trace{
+		Nodes:      int(binary.LittleEndian.Uint16(hdr[2:])),
+		Iterations: int(binary.LittleEndian.Uint32(hdr[4:])),
+	}
+	app := make([]byte, binary.LittleEndian.Uint16(hdr[8:]))
+	if _, err := io.ReadFull(br, app); err != nil {
+		return nil, fmt.Errorf("trace: reading app name: %w", err)
+	}
+	t.App = string(app)
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxRecords = 1 << 31 // sanity bound against corrupt headers
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	// Grow with append rather than trusting the header's count with one
+	// huge up-front allocation: a corrupt header then fails at the
+	// first short read instead of attempting a multi-gigabyte make().
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		r := Record{
+			Node:   coherence.NodeID(int16(binary.LittleEndian.Uint16(rec[0:]))),
+			Side:   Side(rec[2]),
+			Sender: coherence.NodeID(int16(binary.LittleEndian.Uint16(rec[3:]))),
+			Type:   coherence.MsgType(rec[5]),
+			Addr:   coherence.Addr(binary.LittleEndian.Uint64(rec[6:])),
+			Iter:   int32(binary.LittleEndian.Uint32(rec[14:])),
+		}
+		// Validate everything an evaluator indexes or encodes with:
+		// out-of-range nodes would index predictor slices out of
+		// bounds; senders beyond 12 bits would panic tuple packing.
+		if r.Side >= numSides || !r.Type.Valid() ||
+			r.Node < 0 || (t.Nodes > 0 && int(r.Node) >= t.Nodes) ||
+			r.Sender < 0 || r.Sender >= 1<<12 || r.Iter < 0 {
+			return nil, fmt.Errorf("trace: corrupt record %d: %+v", i, r)
+		}
+		t.Records = append(t.Records, r)
+	}
+	return t, nil
+}
+
+// WriteText dumps the trace in a human-readable one-record-per-line
+// form, for debugging and diffing.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace app=%s nodes=%d iterations=%d records=%d\n",
+		t.App, t.Nodes, t.Iterations, len(t.Records))
+	for _, r := range t.Records {
+		fmt.Fprintf(bw, "%d %s@%s %s %s %#x\n",
+			r.Iter, r.Side, r.Node, r.Sender, r.Type, uint64(r.Addr))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,145 @@
+// Package trace captures the coherence message streams that predictors
+// are trained and evaluated on, mirroring the paper's methodology
+// (Section 5): the machine is simulated once, the per-node incoming
+// message traces are recorded, and predictors are then evaluated over
+// the traces offline.
+//
+// A record notes one message reception: at which node, on which side
+// (cache controller or directory controller), from which sender, of
+// which type, for which block, and during which application-level
+// iteration (Table 8 and the adaptation analysis are iteration-based).
+package trace
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Side distinguishes the two predictor locations at a node.
+type Side uint8
+
+const (
+	// CacheSide marks messages received by a cache controller (sent by
+	// a directory).
+	CacheSide Side = iota
+	// DirectorySide marks messages received by a directory controller
+	// (sent by a cache).
+	DirectorySide
+	numSides
+)
+
+// String returns "cache" or "directory".
+func (s Side) String() string {
+	switch s {
+	case CacheSide:
+		return "cache"
+	case DirectorySide:
+		return "directory"
+	}
+	return fmt.Sprintf("Side(%d)", uint8(s))
+}
+
+// Record is one observed message reception.
+type Record struct {
+	Node   coherence.NodeID
+	Side   Side
+	Sender coherence.NodeID
+	Type   coherence.MsgType
+	Addr   coherence.Addr
+	// Iter is the application-level iteration (phases divided by the
+	// workload's PhasesPerIteration) during which the message arrived.
+	Iter int32
+}
+
+// Tuple returns the <sender, type> pair the predictor at the receiving
+// node consumes.
+func (r Record) Tuple() coherence.Tuple {
+	return coherence.Tuple{Sender: r.Sender, Type: r.Type}
+}
+
+// Trace is a complete captured run.
+type Trace struct {
+	App        string
+	Nodes      int
+	Iterations int // application-level iterations
+	Records    []Record
+}
+
+// CountBySide returns how many records were captured on each side.
+func (t *Trace) CountBySide() (cache, dir uint64) {
+	for _, r := range t.Records {
+		if r.Side == CacheSide {
+			cache++
+		} else {
+			dir++
+		}
+	}
+	return cache, dir
+}
+
+// Recorder captures a machine run into a Trace. It implements
+// machine.Observer structurally (the machine package is not imported,
+// avoiding a dependency cycle with tests).
+type Recorder struct {
+	trace             *Trace
+	phasesPerIter     int
+	currentPhase      int
+	startupIterations int
+}
+
+// NewRecorder creates a recorder for a run of the given app name over
+// nodes, whose workload groups phasesPerIter phases into one
+// application iteration. startupIterations application-level
+// iterations are excluded from the trace, mirroring the paper's
+// methodology ("Our traces do not contain coherence messages generated
+// in this start-up phase", Section 5).
+func NewRecorder(app string, nodes, phasesPerIter, startupIterations int) *Recorder {
+	if phasesPerIter < 1 {
+		phasesPerIter = 1
+	}
+	return &Recorder{
+		trace:             &Trace{App: app, Nodes: nodes},
+		phasesPerIter:     phasesPerIter,
+		startupIterations: startupIterations,
+	}
+}
+
+// Trace returns the captured trace (valid once the run completes).
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// iter returns the current application-level iteration, relative to
+// the end of the startup phase.
+func (r *Recorder) iter() int { return r.currentPhase/r.phasesPerIter - r.startupIterations }
+
+func (r *Recorder) observe(node coherence.NodeID, side Side, msg coherence.Msg) {
+	it := r.iter()
+	if it < 0 {
+		return // startup phase: excluded
+	}
+	r.trace.Records = append(r.trace.Records, Record{
+		Node:   node,
+		Side:   side,
+		Sender: msg.Src,
+		Type:   msg.Type,
+		Addr:   msg.Addr,
+		Iter:   int32(it),
+	})
+	if it+1 > r.trace.Iterations {
+		r.trace.Iterations = it + 1
+	}
+}
+
+// ObserveCache implements machine.Observer.
+func (r *Recorder) ObserveCache(node coherence.NodeID, msg coherence.Msg) {
+	r.observe(node, CacheSide, msg)
+}
+
+// ObserveDirectory implements machine.Observer.
+func (r *Recorder) ObserveDirectory(node coherence.NodeID, msg coherence.Msg) {
+	r.observe(node, DirectorySide, msg)
+}
+
+// EndIteration implements machine.Observer (the machine's iterations
+// are phases).
+func (r *Recorder) EndIteration(int) { r.currentPhase++ }

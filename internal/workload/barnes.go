@@ -1,0 +1,219 @@
+package workload
+
+// Barnes reproduces the sharing behaviour of barnes, the SPLASH-2
+// Barnes-Hut hierarchical N-body simulation (Section 5.2):
+//
+//   - The principal data structure is an octree that is *rebuilt every
+//     iteration*. Logical tree nodes have stable sharing (an owner that
+//     writes them during the build, a set of readers that traverse
+//     them), but rebuilding moves logical nodes to different
+//     shared-memory addresses, obscuring those patterns from a
+//     predictor indexed by address (Section 6.1: this is exactly why
+//     barnes has the lowest accuracy, 62-69%).
+//   - Bodies live at stable addresses: their owner read-modify-writes
+//     them each iteration and a few neighbouring processors read them,
+//     giving the stable fraction of barnes's traffic.
+//
+// The generator models the address reassignment directly: logical tree
+// cells draw their address from a pool under a permutation that is
+// partially reshuffled every iteration (reassignFraction of cells
+// move). More history (MHR depth) helps only mildly, as in Table 5.
+type Barnes struct {
+	procs int
+	iters int
+	seed  uint64
+
+	bodies Region
+	// bodyOwner[i] owns body block i; bodyReaders[i] read it.
+	bodyOwner   []int
+	bodyReaders [][]int
+
+	pool Region // address pool for tree cells
+	// cellOwner/cellReaders describe *logical* cells; assignment maps
+	// logical cell -> pool slot, reshuffled per iteration.
+	cellOwner   []int
+	cellReaders [][]int
+
+	cold coldRegion
+
+	reassignFraction float64
+	// assignments[iter] is materialized lazily and memoized because
+	// each iteration's permutation derives from the previous one.
+	assignments [][]int
+}
+
+// NewBarnes builds the generator.
+func NewBarnes(procs int, scale Scale) *Barnes {
+	b := &Barnes{procs: procs, seed: 0xbab1e5, reassignFraction: 0.35}
+	var bodies, cells int
+	switch scale {
+	case ScaleSmall:
+		b.iters, bodies, cells = 6, 16, 12
+	case ScaleMedium:
+		b.iters, bodies, cells = 15, 256, 128
+	default:
+		b.iters, bodies, cells = 30, 1152, 640
+	}
+	coldBlocks := map[Scale]int{ScaleSmall: 8, ScaleMedium: 256, ScaleFull: 2900}[scale]
+
+	arena := NewArena(defaultGeometry(procs))
+	b.bodies = arena.Alloc(bodies)
+	b.pool = arena.Alloc(cells)
+	b.cold = newColdRegion(arena, coldBlocks, procs)
+
+	layout := newRNG(b.seed)
+	b.bodyOwner = make([]int, bodies)
+	b.bodyReaders = make([][]int, bodies)
+	for i := 0; i < bodies; i++ {
+		b.bodyOwner[i] = i * procs / bodies // spatial partition
+		// Gravity is long-range but locally dominated: 2-4 readers.
+		b.bodyReaders[i] = pickDistinct(layout, procs, 2+layout.intn(3), b.bodyOwner[i])
+	}
+	b.cellOwner = make([]int, cells)
+	b.cellReaders = make([][]int, cells)
+	for i := 0; i < cells; i++ {
+		b.cellOwner[i] = layout.intn(procs)
+		// Internal cells near the root are read by many processors;
+		// deep cells by few. Skew accordingly.
+		n := 2 + layout.intn(4)
+		if i < cells/8 { // "near the root"
+			n = 2 + layout.intn(procs/2)
+		}
+		b.cellReaders[i] = pickDistinct(layout, procs, n, b.cellOwner[i])
+	}
+
+	// Initial identity assignment of logical cells to pool slots.
+	ident := make([]int, cells)
+	for i := range ident {
+		ident[i] = i
+	}
+	b.assignments = [][]int{ident}
+	return b
+}
+
+// pickDistinct returns n distinct processors != exclude (n capped at
+// procs-1).
+func pickDistinct(r *rng, procs, n, exclude int) []int {
+	if n > procs-1 {
+		n = procs - 1
+	}
+	chosen := make([]int, 0, n)
+	used := map[int]bool{exclude: true}
+	for len(chosen) < n {
+		p := r.intn(procs)
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		chosen = append(chosen, p)
+	}
+	return chosen
+}
+
+// assignment returns the cell->slot mapping for iteration iter,
+// deriving it from iteration iter-1 by moving reassignFraction of the
+// cells (a partial reshuffle, the octree rebuild).
+func (b *Barnes) assignment(iter int) []int {
+	for len(b.assignments) <= iter {
+		prev := b.assignments[len(b.assignments)-1]
+		next := make([]int, len(prev))
+		copy(next, prev)
+		r := newRNG(b.seed ^ 0x7ee ^ uint64(len(b.assignments))<<16)
+		moves := int(float64(len(next)) * b.reassignFraction)
+		for i := 0; i < moves; i++ {
+			x, y := r.intn(len(next)), r.intn(len(next))
+			next[x], next[y] = next[y], next[x]
+		}
+		b.assignments = append(b.assignments, next)
+	}
+	return b.assignments[iter]
+}
+
+// Name implements App.
+func (b *Barnes) Name() string { return "barnes" }
+
+// Procs implements App.
+func (b *Barnes) Procs() int { return b.procs }
+
+// Iterations implements App (three phases per application iteration).
+func (b *Barnes) Iterations() int { return 3 * b.iters }
+
+// PhasesPerIteration implements App: barnes separates tree build,
+// force-computation traversal, and body update with barriers, as
+// SPLASH-2 barnes does.
+func (b *Barnes) PhasesPerIteration() int { return 3 }
+
+// Accesses implements App.
+func (b *Barnes) Accesses(p, phase int) []Access {
+	iter, sub := phase/3, phase%3
+	assign := b.assignment(iter)
+	var seq []Access
+
+	switch sub {
+	case 0:
+		seq = append(seq, b.cold.reads(p, phase)...)
+		// Tree build: owners write their logical cells at this
+		// iteration's (freshly reassigned) addresses.
+		for c, owner := range b.cellOwner {
+			if owner != p {
+				continue
+			}
+			addr := b.pool.Block(assign[c])
+			seq = append(seq, Read(addr), Write(addr))
+		}
+
+	case 1:
+		// Force computation: traverse — read cells and bodies. The
+		// traversal follows the body distribution, which drifts slowly:
+		// the visit order over *logical* cells and over bodies recurs
+		// across iterations even while the cells' addresses move under
+		// the predictor's feet.
+		var cellReads []Access
+		for c, readers := range b.cellReaders {
+			for _, q := range readers {
+				if q == p {
+					cellReads = append(cellReads, Read(b.pool.Block(assign[c])))
+					break
+				}
+			}
+		}
+		var bodyReadIdx []int
+		for i, readers := range b.bodyReaders {
+			for _, q := range readers {
+				if q == p {
+					bodyReadIdx = append(bodyReadIdx, i)
+					break
+				}
+			}
+		}
+		for _, i := range recurringOrder(b.seed^0xce11, uint64(p), iter, len(cellReads), 4, 0.7) {
+			seq = append(seq, cellReads[i])
+		}
+		// Body reads happen in two passes. Whether a block's read is
+		// deferred to the late pass is a property of the *block* and of
+		// a short per-block schedule cycling over iterations, so each
+		// body's readers arrive at its directory in one of a few
+		// strictly recurring orders: ambiguous to a depth-1 predictor,
+		// learnable with more history (the Table 5 depth gain).
+		var late []Access
+		for _, i := range bodyReadIdx {
+			pi := int(newRNG(b.seed^0xbead^uint64(i)<<8^uint64(iter%4)).next() % 3)
+			if pi != 0 && (p+pi)%2 == 0 {
+				late = append(late, Read(b.bodies.Block(i)))
+				continue
+			}
+			seq = append(seq, Read(b.bodies.Block(i)))
+		}
+		seq = append(seq, late...)
+
+	case 2:
+		// Update own bodies (position/velocity integration).
+		for i, owner := range b.bodyOwner {
+			if owner != p {
+				continue
+			}
+			seq = append(seq, Read(b.bodies.Block(i)), Write(b.bodies.Block(i)))
+		}
+	}
+	return seq
+}

@@ -1,0 +1,144 @@
+package workload
+
+import "github.com/cosmos-coherence/cosmos/internal/coherence"
+
+// Script is a hand-written workload: Steps[iter][proc] lists the
+// accesses processor proc performs in iteration iter. Useful in tests
+// and examples where exact access interleavings matter.
+type Script struct {
+	// ScriptName is reported by Name().
+	ScriptName string
+	// NumProcs is the processor count the script targets.
+	NumProcs int
+	// Steps[iter][proc] is the access list of proc in iter. Rows may be
+	// ragged; missing procs perform no accesses that iteration.
+	Steps [][][]Access
+	// Phases is the value PhasesPerIteration reports (0 means 1).
+	Phases int
+}
+
+// Name implements App.
+func (s *Script) Name() string {
+	if s.ScriptName == "" {
+		return "script"
+	}
+	return s.ScriptName
+}
+
+// PhasesPerIteration implements App. Phases defaults to 1 when unset.
+func (s *Script) PhasesPerIteration() int {
+	if s.Phases <= 0 {
+		return 1
+	}
+	return s.Phases
+}
+
+// Procs implements App.
+func (s *Script) Procs() int { return s.NumProcs }
+
+// Iterations implements App.
+func (s *Script) Iterations() int { return len(s.Steps) }
+
+// Accesses implements App.
+func (s *Script) Accesses(p, iter int) []Access {
+	if iter >= len(s.Steps) || p >= len(s.Steps[iter]) {
+		return nil
+	}
+	return s.Steps[iter][p]
+}
+
+// Read is shorthand for a load access.
+func Read(addr coherence.Addr) Access { return Access{Addr: addr} }
+
+// Write is shorthand for a store access.
+func Write(addr coherence.Addr) Access { return Access{Addr: addr, Write: true} }
+
+// ProducerConsumer builds the micro-workload of Figure 2: one producer
+// updates a set of blocks, then — in a separate barrier phase, standing
+// in for the flag synchronization of the pseudo-code — the consumers
+// read them. consumers must name distinct procs, none equal to
+// producer. iters counts producer/consumer rounds; each round is two
+// phases.
+//
+// With one consumer this induces exactly Figure 2b's repeating
+// signature at the producer's cache:
+//
+//	get_rw_response, inval_rw_request, get_rw_response, ...
+//
+// and at the directory the loop of Figure 6 (dsmc panel).
+func ProducerConsumer(procs int, producer int, consumers []int, blocks Region, iters int) App {
+	steps := make([][][]Access, 2*iters)
+	for it := 0; it < iters; it++ {
+		produce := make([][]Access, procs)
+		var prod []Access
+		for b := 0; b < blocks.Blocks(); b++ {
+			prod = append(prod, Write(blocks.Block(b)))
+		}
+		produce[producer] = prod
+		steps[2*it] = produce
+
+		consume := make([][]Access, procs)
+		for _, c := range consumers {
+			var cons []Access
+			for b := 0; b < blocks.Blocks(); b++ {
+				cons = append(cons, Read(blocks.Block(b)))
+			}
+			consume[c] = cons
+		}
+		steps[2*it+1] = consume
+	}
+	return &Script{ScriptName: "producer-consumer", NumProcs: procs, Steps: steps, Phases: 2}
+}
+
+// Migratory builds the classic migratory-sharing micro-workload: each
+// block is read-then-written by a sequence of processors, one per
+// iteration, as if protected by a lock that migrates (Section 6.1's
+// moldyn reduction pattern). Block b is touched by processor
+// (b + iter) mod procs in iteration iter.
+func Migratory(procs int, blocks Region, iters int) App {
+	steps := make([][][]Access, iters)
+	for it := range steps {
+		steps[it] = make([][]Access, procs)
+		for b := 0; b < blocks.Blocks(); b++ {
+			p := (b + it) % procs
+			steps[it][p] = append(steps[it][p],
+				Read(blocks.Block(b)), Write(blocks.Block(b)))
+		}
+	}
+	return &Script{ScriptName: "migratory", NumProcs: procs, Steps: steps}
+}
+
+// ReadModifyWrite builds a workload in which each owner processor
+// read-modify-writes its own blocks every iteration while a rotating
+// remote reader observes them — the pattern the SGI Origin protocol's
+// read-modify-write prediction targets (Table 2).
+func ReadModifyWrite(procs int, perProc int, arena *Arena, iters int) App {
+	regions := make([]Region, procs)
+	for p := range regions {
+		regions[p] = arena.Alloc(perProc)
+	}
+	steps := make([][][]Access, 2*iters)
+	for it := 0; it < iters; it++ {
+		update := make([][]Access, procs)
+		observe := make([][]Access, procs)
+		for p := 0; p < procs; p++ {
+			for b := 0; b < perProc; b++ {
+				addr := regions[p].Block(b)
+				update[p] = append(update[p], Read(addr), Write(addr))
+			}
+			if procs > 1 {
+				// A rotating reader pulls each block shared, forcing the
+				// owner to upgrade next iteration.
+				reader := (p + 1 + it) % procs
+				if reader != p {
+					for b := 0; b < perProc; b++ {
+						observe[reader] = append(observe[reader], Read(regions[p].Block(b)))
+					}
+				}
+			}
+		}
+		steps[2*it] = update
+		steps[2*it+1] = observe
+	}
+	return &Script{ScriptName: "read-modify-write", NumProcs: procs, Steps: steps, Phases: 2}
+}

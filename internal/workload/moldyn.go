@@ -1,0 +1,156 @@
+package workload
+
+// Moldyn reproduces the sharing behaviour of moldyn, the CHARMM-like
+// molecular dynamics code (Section 5.2 / 6.1). Two dominant patterns:
+//
+//   - Migratory sharing of the shared force array: each processor
+//     accumulates per-molecule forces privately, then adds its
+//     contribution to the shared array inside critical sections. Each
+//     force block therefore migrates (read-modify-write) through the
+//     set of contributing processors once per iteration. The order is
+//     lock-acquisition order: usually each processor's program order,
+//     with occasional inversions.
+//   - Producer-consumer sharing of the coordinates array: the owner
+//     updates a molecule's coordinates (reading them first), then an
+//     average of 4.9 consumers read them (Section 6.1 gives the 4.9).
+//   - The interaction list is rebuilt every 20 iterations (Table 4),
+//     which re-draws which processors contribute to which force block
+//     and who consumes which coordinate block.
+type Moldyn struct {
+	procs int
+	iters int
+	seed  uint64
+
+	force  Region
+	coords Region
+	// rebuildEvery is the interaction-list rebuild period (20 in the
+	// paper; scaled down with the iteration count at small scales).
+	rebuildEvery int
+
+	coordOwner []int
+	cold       coldRegion
+}
+
+// NewMoldyn builds the generator.
+func NewMoldyn(procs int, scale Scale) *Moldyn {
+	m := &Moldyn{procs: procs, seed: 0x30e1d, rebuildEvery: 20}
+	var forceBlocks, coordBlocks int
+	switch scale {
+	case ScaleSmall:
+		m.iters, forceBlocks, coordBlocks, m.rebuildEvery = 6, 8, 6, 3
+	case ScaleMedium:
+		m.iters, forceBlocks, coordBlocks, m.rebuildEvery = 30, 128, 96, 10
+	default:
+		m.iters, forceBlocks, coordBlocks, m.rebuildEvery = 60, 768, 512, 20
+	}
+
+	arena := NewArena(defaultGeometry(procs))
+	m.force = arena.Alloc(forceBlocks)
+	m.coords = arena.Alloc(coordBlocks)
+	m.coordOwner = make([]int, coordBlocks)
+	for i := range m.coordOwner {
+		m.coordOwner[i] = i * procs / coordBlocks
+	}
+	coldBlocks := map[Scale]int{ScaleSmall: 8, ScaleMedium: 1024, ScaleFull: 39600}[scale]
+	m.cold = newColdRegion(arena, coldBlocks, procs)
+	return m
+}
+
+// epoch returns the interaction-list epoch of an iteration.
+func (m *Moldyn) epoch(iter int) int { return iter / m.rebuildEvery }
+
+// forceContributors returns the processors that update force block b
+// during the given epoch, in their canonical (lock-acquisition) order.
+func (m *Moldyn) forceContributors(b, epoch int) []int {
+	r := newRNG(m.seed ^ 0xf0ece ^ uint64(b)<<16 ^ uint64(epoch))
+	n := 2 + r.intn(4) // 2..5 contributors per force block
+	return pickDistinct(r, m.procs, n, -1)
+}
+
+// coordConsumers returns the processors that read coordinate block b
+// during the given epoch. Sizes are drawn so the mean is ~4.9
+// consumers, the figure Section 6.1 reports.
+func (m *Moldyn) coordConsumers(b, epoch int) []int {
+	r := newRNG(m.seed ^ 0xc003d ^ uint64(b)<<16 ^ uint64(epoch))
+	n := 3 + r.intn(5) // 3..7, mean 5, close to 4.9
+	return pickDistinct(r, m.procs, n, m.coordOwner[b])
+}
+
+// Name implements App.
+func (m *Moldyn) Name() string { return "moldyn" }
+
+// Procs implements App.
+func (m *Moldyn) Procs() int { return m.procs }
+
+// Iterations implements App (force phase + integration phase).
+func (m *Moldyn) Iterations() int { return 2 * m.iters }
+
+// PhasesPerIteration implements App: the force-computation phase
+// (coordinate reads + migratory reduction) is barrier-separated from
+// the position-integration phase that rewrites the coordinates.
+func (m *Moldyn) PhasesPerIteration() int { return 2 }
+
+// Accesses implements App.
+func (m *Moldyn) Accesses(p, phase int) []Access {
+	iter, sub := phase/2, phase%2
+	ep := m.epoch(iter)
+	r := newRNG(m.seed ^ uint64(p)<<24 ^ uint64(phase)<<3)
+	var seq []Access
+
+	if sub == 0 {
+		seq = append(seq, m.cold.reads(p, phase)...)
+		// Read the coordinates this processor's interactions need
+		// (producer-consumer consumer side). The interaction list fixes
+		// the traversal order for a whole epoch, so back-to-back
+		// get_ro_requests arrive at the directories "with high
+		// predictability" (Section 6.1); the order re-draws when the
+		// list is rebuilt.
+		var coordReads []Access
+		for b := 0; b < m.coords.Blocks(); b++ {
+			for _, q := range m.coordConsumers(b, ep) {
+				if q == p {
+					coordReads = append(coordReads, Read(m.coords.Block(b)))
+					break
+				}
+			}
+		}
+		order := recurringOrder(m.seed^uint64(ep)<<40, uint64(p), iter, len(coordReads), 3, 0.85)
+		for _, i := range order {
+			seq = append(seq, coordReads[i])
+		}
+
+		// Force reduction: read-modify-write each force block this
+		// processor contributes to, inside a critical section. Program
+		// order over blocks, with an occasional locally swapped pair so
+		// lock-acquisition order is not perfectly repeatable.
+		var mine []int
+		for b := 0; b < m.force.Blocks(); b++ {
+			for _, q := range m.forceContributors(b, ep) {
+				if q == p {
+					mine = append(mine, b)
+					break
+				}
+			}
+		}
+		for i := 0; i+1 < len(mine); i++ {
+			if r.float() < 0.1 {
+				mine[i], mine[i+1] = mine[i+1], mine[i]
+			}
+		}
+		for _, b := range mine {
+			seq = append(seq, Read(m.force.Block(b)), Write(m.force.Block(b)))
+		}
+		return seq
+	}
+
+	// Position integration: the owner updates its coordinate blocks
+	// (reads the old position first — the producer read that makes
+	// moldyn's producer look migratory at the cache, Section 6.1).
+	for b, owner := range m.coordOwner {
+		if owner != p {
+			continue
+		}
+		seq = append(seq, Read(m.coords.Block(b)), Write(m.coords.Block(b)))
+	}
+	return seq
+}

@@ -1,0 +1,166 @@
+// Package workload defines the shared-memory reference generators that
+// stand in for the paper's five scientific applications (Section 5.2,
+// Table 4), plus the micro-patterns (producer-consumer, migratory,
+// read-modify-write) used by examples and unit tests.
+//
+// Each generator produces, per processor and per iteration, a sequence
+// of loads and stores to a shared address space. The generators do not
+// compute anything; they reproduce each application's *sharing
+// patterns* — which is all the Cosmos predictor can observe, since it
+// sees only the coherence message stream those patterns induce
+// (Section 6.1 analyzes exactly these patterns per application).
+package workload
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Access is one memory reference by a processor.
+type Access struct {
+	Addr  coherence.Addr
+	Write bool
+}
+
+// App is a workload: a fixed number of processors iterating over
+// barrier-separated phases.
+//
+// The machine's unit of progress is a *phase* (all processors run
+// their access sequence, then synchronize). One application-level
+// iteration — the unit Tables 4 and 8 count — may span several phases:
+// real applications separate compute from exchange with barriers or
+// flags, and collapsing them into one racy phase would destroy the
+// producer-consumer orderings the paper's signatures depend on.
+type App interface {
+	// Name returns the benchmark name as used in the paper's tables.
+	Name() string
+	// Procs returns the number of processors the workload was built for.
+	Procs() int
+	// Iterations returns the total number of barrier-separated phases.
+	Iterations() int
+	// Accesses returns the ordered references processor p performs in
+	// phase iter. It must be deterministic: calling it twice with the
+	// same arguments returns the same sequence.
+	Accesses(p, iter int) []Access
+	// PhasesPerIteration returns how many phases make up one
+	// application-level iteration (>= 1).
+	PhasesPerIteration() int
+}
+
+// AppIterations returns the number of application-level iterations of
+// an app (its phases divided by phases per iteration).
+func AppIterations(a App) int {
+	return a.Iterations() / a.PhasesPerIteration()
+}
+
+// Scale selects the size of the synthetic workloads. Tests use
+// ScaleSmall to stay fast; the experiment harness uses ScaleFull.
+type Scale int
+
+const (
+	// ScaleSmall shrinks data structures and iteration counts for
+	// unit tests.
+	ScaleSmall Scale = iota
+	// ScaleMedium is used by quick command-line runs.
+	ScaleMedium
+	// ScaleFull is the configuration the reproduced tables use.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// rng is a small deterministic PRNG (xorshift64*) so workload layout
+// decisions are reproducible and independent of math/rand's evolution
+// across Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// recurringOrder returns one of k recurring traversal orders of [0, n)
+// for a given stream identity and iteration. Real codes traverse their
+// data in program order; races and work imbalance perturb the order,
+// but the perturbations *recur* rather than being fresh randomness —
+// which is why Cosmos' history depth can adapt to them (Section 6.2:
+// "history information allows Cosmos to learn from and adapt to the
+// noise"). Variant 0 (the dominant program order) is used with
+// probability base; otherwise one of the k-1 recurring alternates.
+func recurringOrder(seed uint64, id uint64, iter, n, k int, base float64) []int {
+	pick := newRNG(seed ^ 0x0bde ^ id<<20 ^ uint64(iter)*0x9e37)
+	v := 0
+	if k > 1 && pick.float() >= base {
+		v = 1 + pick.intn(k-1)
+	}
+	return newRNG(seed ^ 0x9e37 ^ id<<8 ^ uint64(v)).perm(n)
+}
+
+// Registry returns the five paper benchmarks at the given scale for a
+// machine with procs processors, in the order the paper's tables list
+// them: appbt, barnes, dsmc, moldyn, unstructured.
+func Registry(procs int, scale Scale) []App {
+	return []App{
+		NewAppBT(procs, scale),
+		NewBarnes(procs, scale),
+		NewDSMC(procs, scale),
+		NewMoldyn(procs, scale),
+		NewUnstructured(procs, scale),
+	}
+}
+
+// ByName returns the named benchmark or an error listing valid names.
+func ByName(name string, procs int, scale Scale) (App, error) {
+	for _, a := range Registry(procs, scale) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (want appbt, barnes, dsmc, moldyn, or unstructured)", name)
+}
