@@ -1,0 +1,34 @@
+# Build, lint, and test the whole module. `make` (or `make check`) is
+# the CI gate: vet, build, and the full test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench examples clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/producer_consumer
+	$(GO) run ./examples/custom_workload
+	$(GO) run ./examples/accelerate
+	$(GO) run ./examples/faults
+
+clean:
+	$(GO) clean ./...

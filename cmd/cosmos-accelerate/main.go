@@ -24,6 +24,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/speculate"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
@@ -46,12 +47,14 @@ func run() error {
 		iters   = flag.Int("iters", 40, "micro-workload iterations")
 		blocks  = flag.Int("blocks", 32, "micro-workload shared blocks")
 	)
+	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *iters < 1 || *blocks < 1 {
 		return fmt.Errorf("-iters and -blocks must be positive (got %d, %d)", *iters, *blocks)
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Faults = ff.Plan()
 	app, err := buildApp(*appName, *scale, mcfg, *iters, *blocks)
 	if err != nil {
 		return err

@@ -1,14 +1,16 @@
 // Command cosmos-predict evaluates Cosmos predictor configurations
-// over a saved coherence message trace (produced by stache-trace),
-// reporting the paper's accuracy metrics: overall / cache-side /
-// directory-side rates, per-iteration adaptation, dominant transition
-// arcs, and predictor memory.
+// over a coherence message trace — either a saved one (produced by
+// stache-trace) or one simulated on the fly with -app — reporting the
+// paper's accuracy metrics: overall / cache-side / directory-side
+// rates, per-iteration adaptation, dominant transition arcs, and
+// predictor memory.
 //
 // Usage:
 //
 //	stache-trace -app dsmc -scale medium -o dsmc.trace
 //	cosmos-predict -in dsmc.trace -depth 3 -filter 1 -arcs
-//	cosmos-predict -in dsmc.trace -sweep          # depths 1-4 at once
+//	cosmos-predict -in dsmc.trace -sweep            # depths 1-4 at once
+//	cosmos-predict -app dsmc -fault-drop 0.02       # simulate on a lossy wire, then evaluate
 package main
 
 import (
@@ -17,8 +19,11 @@ import (
 	"os"
 
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
 
 func main() {
@@ -30,7 +35,9 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "", "trace file to evaluate (required)")
+		in      = flag.String("in", "", "trace file to evaluate")
+		app     = flag.String("app", "", "benchmark to simulate and evaluate instead of -in")
+		scale   = flag.String("scale", "medium", "workload scale for -app: small | medium | full")
 		depth   = flag.Int("depth", 1, "MHR depth (1-4)")
 		filter  = flag.Int("filter", 0, "noise filter saturating-counter maximum (0 disables)")
 		sweep   = flag.Bool("sweep", false, "evaluate depths 1-4 instead of a single configuration")
@@ -39,18 +46,41 @@ func run() error {
 		adapt   = flag.Bool("adapt", false, "print the per-iteration accuracy series")
 		types   = flag.Bool("types", false, "print accuracy broken down by message type")
 	)
+	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if *in == "" {
-		return fmt.Errorf("-in is required")
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
-		return err
+
+	var tr *trace.Trace
+	switch {
+	case *in != "" && *app != "":
+		return fmt.Errorf("-in and -app are mutually exclusive")
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			return err
+		}
+	case *app != "":
+		cfg := experiments.DefaultConfig()
+		sc, ok := experiments.ScaleFor(*scale)
+		if !ok {
+			return fmt.Errorf("unknown scale %q", *scale)
+		}
+		cfg.Scale = sc
+		cfg.Machine.Faults = ff.Plan()
+		w, err := workload.ByName(*app, cfg.Machine.Nodes, sc)
+		if err != nil {
+			return err
+		}
+		tr, err = experiments.Run(w, cfg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need either -in (load a trace) or -app (simulate one); see -h")
 	}
 	fmt.Printf("trace: app=%s nodes=%d iterations=%d records=%d\n\n",
 		tr.App, tr.Nodes, tr.Iterations, len(tr.Records))

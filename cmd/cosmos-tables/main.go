@@ -9,8 +9,9 @@
 //	cosmos-tables                      # everything, full scale
 //	cosmos-tables -table 5             # one table (3,4,5,6,7,8)
 //	cosmos-tables -figure 6            # one figure (5,6,7,8)
-//	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding
+//	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep
 //	cosmos-tables -scale medium        # small | medium | full
+//	cosmos-tables -fault-drop 0.01     # simulate on a lossy wire (with -fault-dup, -fault-jitter, -fault-seed)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/report"
 )
 
@@ -34,12 +36,14 @@ func run() error {
 	var (
 		table  = flag.Int("table", 0, "render one table (3, 4, 5, 6, 7, or 8); 0 = all")
 		figure = flag.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
-		extra  = flag.String("extra", "", "extra experiment: latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding")
+		extra  = flag.String("extra", "", "extra experiment: latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep")
 		scale  = flag.String("scale", "full", "workload scale: small | medium | full")
 	)
+	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
+	cfg.Machine.Faults = ff.Plan()
 	sc, ok := experiments.ScaleFor(*scale)
 	if !ok {
 		return fmt.Errorf("unknown scale %q", *scale)
@@ -53,7 +57,7 @@ func run() error {
 	validExtras := map[string]bool{
 		"": true, "latency": true, "adapt": true, "directed": true, "halfmig": true,
 		"filterdepth": true, "variants": true, "replacement": true, "accelerate": true,
-		"pag": true, "states": true, "forwarding": true,
+		"pag": true, "states": true, "forwarding": true, "faultsweep": true,
 	}
 	if !validExtras[*extra] {
 		return fmt.Errorf("unknown extra %q (see -h for the list)", *extra)
@@ -227,6 +231,14 @@ func run() error {
 			return err
 		}
 		report.StateEquivalence(w, rows)
+		fmt.Fprintln(w)
+	}
+	if wantX("faultsweep") {
+		rows, err := experiments.FaultSweep(cfg, []float64{0, 0.01, 0.02, 0.05}, ff.Plan().Seed)
+		if err != nil {
+			return err
+		}
+		report.FaultSweep(w, rows)
 		fmt.Fprintln(w)
 	}
 	if wantX("filterdepth") {

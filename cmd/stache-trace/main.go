@@ -6,6 +6,7 @@
 // Usage:
 //
 //	stache-trace -app moldyn -scale medium -o moldyn.trace   # simulate & save
+//	stache-trace -app dsmc -fault-drop 0.02 -o dsmc.trace    # simulate on a lossy wire
 //	stache-trace -in moldyn.trace -dump | head               # dump as text
 //	stache-trace -in moldyn.trace -summary                   # per-type counts
 package main
@@ -18,6 +19,7 @@ import (
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
@@ -39,6 +41,7 @@ func run() error {
 		summary = flag.Bool("summary", false, "print per-message-type and per-side counts")
 		halfMig = flag.Bool("halfmigratory", true, "enable the Stache half-migratory optimization")
 	)
+	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -61,6 +64,7 @@ func run() error {
 		}
 		cfg.Scale = sc
 		cfg.Stache.HalfMigratory = *halfMig
+		cfg.Machine.Faults = ff.Plan()
 		w, err := workload.ByName(*app, cfg.Machine.Nodes, sc)
 		if err != nil {
 			return err

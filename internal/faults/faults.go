@@ -1,0 +1,224 @@
+// Package faults injects deterministic message perturbations — drops,
+// duplications, latency jitter, and timed link blackouts — into the
+// simulated interconnect's delivery path.
+//
+// Real interconnects are not the perfectly reliable, perfectly FIFO
+// wire the seed simulator models; prediction-based coherence schemes
+// must tolerate the message streams a lossy network produces (the
+// paper's Section 6 latency study probes timing sensitivity, but never
+// loss). This package supplies the fault model; the reliable transport
+// (internal/reliable) restores exactly-once in-order delivery on top
+// of it, so the Stache protocol runs unchanged.
+//
+// Determinism is the load-bearing property: every fault decision is a
+// pure function of (plan seed, source, destination, wire sequence
+// number) — never of wall-clock time or a shared PRNG whose state
+// depends on call order. Two runs with the same seed therefore inject
+// byte-identical fault streams, which is what makes fault-injected
+// trace hashes reproducible and regressions bisectable.
+package faults
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Blackout is a timed total outage of one link: every packet injected
+// on the link during [FromNs, UntilNs) is dropped, regardless of the
+// plan's probabilistic settings. A negative Src or Dst acts as a
+// wildcard matching every node.
+type Blackout struct {
+	Src, Dst int
+	// FromNs and UntilNs bound the outage in simulated nanoseconds;
+	// UntilNs == 0 means "forever".
+	FromNs, UntilNs uint64
+}
+
+// covers reports whether the blackout drops a packet injected on
+// (src,dst) at time nowNs.
+func (b Blackout) covers(src, dst coherence.NodeID, nowNs uint64) bool {
+	if b.Src >= 0 && coherence.NodeID(b.Src) != src {
+		return false
+	}
+	if b.Dst >= 0 && coherence.NodeID(b.Dst) != dst {
+		return false
+	}
+	if nowNs < b.FromNs {
+		return false
+	}
+	return b.UntilNs == 0 || nowNs < b.UntilNs
+}
+
+// Plan describes what the injector does to each packet. The zero value
+// is a perfectly reliable wire (Enabled reports false) and leaves the
+// network's behavior bit-identical to a build without fault injection.
+type Plan struct {
+	// Seed keys every fault decision. Two runs with equal plans see
+	// identical fault streams.
+	Seed uint64
+	// DropProb is the per-packet probability that a packet vanishes on
+	// the wire. Applied independently per packet (including transport
+	// acks and retransmissions, which receive fresh wire sequence
+	// numbers and hence fresh draws).
+	DropProb float64
+	// DupProb is the per-packet probability that a second copy of the
+	// packet is delivered, with its own jitter draw.
+	DupProb float64
+	// JitterNs adds a uniform [0, JitterNs] delay to each delivery.
+	// Jitter can reorder packets on a link; the reliable transport
+	// restores per-link FIFO before the protocol sees them.
+	JitterNs uint64
+	// Blackouts lists timed total outages of individual links.
+	Blackouts []Blackout
+}
+
+// Enabled reports whether the plan perturbs anything. A disabled plan
+// keeps the network on its exact seed-identical delivery path and
+// keeps the reliable transport out of the message flow entirely.
+func (p Plan) Enabled() bool {
+	return p.DropProb > 0 || p.DupProb > 0 || p.JitterNs > 0 || len(p.Blackouts) > 0
+}
+
+// Validate checks the plan's internal consistency.
+func (p Plan) Validate() error {
+	switch {
+	case math.IsNaN(p.DropProb) || p.DropProb < 0 || p.DropProb > 1:
+		return fmt.Errorf("faults: DropProb=%v outside [0,1]", p.DropProb)
+	case math.IsNaN(p.DupProb) || p.DupProb < 0 || p.DupProb > 1:
+		return fmt.Errorf("faults: DupProb=%v outside [0,1]", p.DupProb)
+	}
+	for i, b := range p.Blackouts {
+		if b.UntilNs != 0 && b.UntilNs <= b.FromNs {
+			return fmt.Errorf("faults: blackout %d empty: [%d,%d)", i, b.FromNs, b.UntilNs)
+		}
+	}
+	return nil
+}
+
+// Decision is the injector's verdict for one packet.
+type Decision struct {
+	// Drop means the packet never arrives.
+	Drop bool
+	// Duplicate means a second copy arrives, delayed by DupJitterNs.
+	Duplicate bool
+	// JitterNs delays the primary copy.
+	JitterNs uint64
+	// DupJitterNs delays the duplicate copy (independent draw).
+	DupJitterNs uint64
+}
+
+// Injector applies a Plan. It is stateless beyond the plan itself, so
+// one injector may serve concurrent independent simulations only if
+// they never share a network (each network owns its injector).
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector builds an injector for plan, or nil when the plan is
+// disabled — callers treat a nil injector as "no faults" and keep the
+// untouched delivery path.
+func NewInjector(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if !plan.Enabled() {
+		return nil, nil
+	}
+	return &Injector{plan: plan}, nil
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Salts separate the independent random streams drawn per packet.
+const (
+	saltDrop = iota + 1
+	saltDup
+	saltJitter
+	saltDupJitter
+)
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// hash used to derive per-packet randomness from the key material.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw returns a uniform value in [0,1) keyed on (seed, salt, src,
+// dst, wireSeq). Distinct salts give independent streams for the same
+// packet.
+func (in *Injector) draw(salt uint64, src, dst coherence.NodeID, wireSeq uint64) float64 {
+	h := mix(in.plan.Seed ^ mix(salt))
+	h = mix(h ^ (uint64(uint16(src))<<16 | uint64(uint16(dst))))
+	h = mix(h ^ wireSeq)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// jitterDraw returns a uniform delay in [0, JitterNs].
+func (in *Injector) jitterDraw(salt uint64, src, dst coherence.NodeID, wireSeq uint64) uint64 {
+	if in.plan.JitterNs == 0 {
+		return 0
+	}
+	return uint64(in.draw(salt, src, dst, wireSeq) * float64(in.plan.JitterNs+1))
+}
+
+// Decide returns the fault decision for the packet with wire sequence
+// number wireSeq injected on link (src,dst) at simulated time nowNs.
+// The decision is a pure function of its arguments and the plan.
+func (in *Injector) Decide(src, dst coherence.NodeID, wireSeq, nowNs uint64) Decision {
+	for _, b := range in.plan.Blackouts {
+		if b.covers(src, dst, nowNs) {
+			return Decision{Drop: true}
+		}
+	}
+	d := Decision{
+		JitterNs: in.jitterDraw(saltJitter, src, dst, wireSeq),
+	}
+	if in.plan.DropProb > 0 && in.draw(saltDrop, src, dst, wireSeq) < in.plan.DropProb {
+		d.Drop = true
+		return d
+	}
+	if in.plan.DupProb > 0 && in.draw(saltDup, src, dst, wireSeq) < in.plan.DupProb {
+		d.Duplicate = true
+		d.DupJitterNs = in.jitterDraw(saltDupJitter, src, dst, wireSeq)
+	}
+	return d
+}
+
+// Flags holds the standard command-line fault knobs shared by the cmd/
+// tools. Register with AddFlags, then call Plan after flag parsing.
+type Flags struct {
+	drop   *float64
+	dup    *float64
+	jitter *uint64
+	seed   *uint64
+}
+
+// AddFlags registers -fault-drop, -fault-dup, -fault-jitter, and
+// -fault-seed on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		drop:   fs.Float64("fault-drop", 0, "per-packet drop probability on every link (0 disables)"),
+		dup:    fs.Float64("fault-dup", 0, "per-packet duplication probability on every link"),
+		jitter: fs.Uint64("fault-jitter", 0, "max per-packet latency jitter in ns"),
+		seed:   fs.Uint64("fault-seed", 1, "seed for deterministic fault decisions"),
+	}
+}
+
+// Plan assembles the parsed flags into a fault plan.
+func (f *Flags) Plan() Plan {
+	return Plan{
+		Seed:     *f.seed,
+		DropProb: *f.drop,
+		DupProb:  *f.dup,
+		JitterNs: *f.jitter,
+	}
+}

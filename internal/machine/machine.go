@@ -12,9 +12,11 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/network"
+	"github.com/cosmos-coherence/cosmos/internal/reliable"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -46,6 +48,7 @@ type Machine struct {
 	geom      coherence.Geometry
 	engine    *sim.Engine
 	net       *network.Network
+	transport *reliable.Transport // nil on the fault-free path
 	caches    []*stache.Cache
 	dirs      []*stache.Directory
 	app       workload.App
@@ -55,6 +58,15 @@ type Machine struct {
 	iter     int
 	arrived  int
 	accesses uint64
+
+	// progress counts access completions and barrier crossings; the
+	// watchdog declares a stall when it stops advancing.
+	progress uint64
+	// lastProgress is the simulated time of the most recent progress.
+	lastProgress sim.Time
+	// failure is the first hard error (transport link death, watchdog
+	// stall); it halts the run.
+	failure error
 
 	// barrierLatency is the simulated cost of the barrier itself.
 	barrierLatency sim.Time
@@ -82,6 +94,14 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		// scopes forwarding to no-replacement (Stache-style) caches.
 		return nil, fmt.Errorf("machine: Forwarding requires unbounded caches (CacheBlocks = 0)")
 	}
+	if opts.Forwarding && cfg.Faults.Enabled() {
+		// Forwarded data races the directory's post-ack messages; the
+		// uniform-latency FIFO wire guarantees the data wins, but a
+		// jittered or retransmitting wire does not (the cache.forward
+		// ordering note). Origin handles this with NAK/retry machinery
+		// this model deliberately omits.
+		return nil, fmt.Errorf("machine: Forwarding requires a fault-free interconnect")
+	}
 	geom, err := coherence.NewGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
 	if err != nil {
 		return nil, err
@@ -106,14 +126,31 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		thinkTime:      1,
 	}
 
+	// On a faulty wire, layer the reliable transport between the
+	// protocol and the network so the protocol keeps its exactly-once,
+	// per-link FIFO delivery assumptions. On the default reliable wire
+	// the protocol talks to the network directly — the transport stays
+	// completely out of the message flow, so the fault-free path is
+	// bit-identical to a build without it.
+	var sender stache.Sender = net
+	bind := net.Bind
+	if cfg.Faults.Enabled() {
+		m.transport = reliable.New(engine, net, cfg)
+		m.transport.OnFailure(func(err error) {
+			m.fail(fmt.Errorf("%w\n%s", err, m.diagnose()))
+		})
+		sender = m.transport
+		bind = m.transport.Bind
+	}
+
 	for i := 0; i < cfg.Nodes; i++ {
 		node := coherence.NodeID(i)
-		m.dirs[i] = stache.NewDirectory(node, geom, net, opts, func(msg coherence.Msg) {
+		m.dirs[i] = stache.NewDirectory(node, geom, sender, opts, func(msg coherence.Msg) {
 			for _, o := range m.observers {
 				o.ObserveDirectory(node, msg)
 			}
 		})
-		m.caches[i] = stache.NewCache(node, geom, net, m.dirs[i], opts, func(msg coherence.Msg) {
+		m.caches[i] = stache.NewCache(node, geom, sender, m.dirs[i], opts, func(msg coherence.Msg) {
 			for _, o := range m.observers {
 				o.ObserveCache(node, msg)
 			}
@@ -121,7 +158,7 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		m.procs[i] = proc{id: node}
 
 		cache, dir := m.caches[i], m.dirs[i]
-		net.Bind(node, func(msg coherence.Msg) {
+		bind(node, func(msg coherence.Msg) {
 			// Protocol occupancy: the software handler costs time, but
 			// delivery order (what predictors see) is fixed at receive.
 			if msg.Type.DirectoryBound() {
@@ -158,22 +195,119 @@ func (m *Machine) Accesses() uint64 { return m.accesses }
 // Iteration returns the number of fully completed iterations.
 func (m *Machine) Iteration() int { return m.iter }
 
+// Transport exposes the reliable transport, or nil when the
+// interconnect is fault-free and the protocol talks to the network
+// directly.
+func (m *Machine) Transport() *reliable.Transport { return m.transport }
+
 // Run simulates the workload to completion. maxEvents bounds the event
-// count (0 = unlimited); exceeding it returns an error, which almost
-// always indicates a protocol livelock.
+// count (0 = unlimited) as a backstop against same-timestamp event
+// loops. Stalls — no access completing within cfg.WatchdogNs of
+// simulated time, or a reliable-transport link dying — fail fast with
+// a diagnostic dump of pending transactions, in-flight retransmits,
+// and per-node barrier state.
 func (m *Machine) Run(maxEvents uint64) error {
 	if m.app.Iterations() == 0 {
 		return nil
 	}
 	m.startIteration()
-	if _, err := m.engine.Run(maxEvents); err != nil {
-		return err
+	var fired uint64
+	for m.failure == nil && m.iter < m.app.Iterations() {
+		if maxEvents != 0 && fired >= maxEvents {
+			next, _ := m.engine.NextAt()
+			return fmt.Errorf("machine: event budget %d exhausted at t=%v with %d events pending (earliest at %v)\n%s",
+				maxEvents, m.engine.Now(), m.engine.Pending(), next, m.diagnose())
+		}
+		if !m.engine.Step() {
+			break
+		}
+		fired++
+		if m.cfg.WatchdogNs > 0 && m.engine.Now() > m.lastProgress+m.cfg.WatchdogNs {
+			m.fail(fmt.Errorf("machine: watchdog: no access completed between t=%v and t=%v (span %v)\n%s",
+				m.lastProgress, m.engine.Now(), m.cfg.WatchdogNs, m.diagnose()))
+		}
+	}
+	if m.failure != nil {
+		return m.failure
 	}
 	if m.iter < m.app.Iterations() {
-		return fmt.Errorf("machine: deadlock: simulation drained at iteration %d of %d (t=%v)",
-			m.iter, m.app.Iterations(), m.engine.Now())
+		return fmt.Errorf("machine: deadlock: simulation drained at iteration %d of %d (t=%v)\n%s",
+			m.iter, m.app.Iterations(), m.engine.Now(), m.diagnose())
 	}
 	return nil
+}
+
+// fail records the first hard error; the run loop exits on it.
+func (m *Machine) fail(err error) {
+	if m.failure == nil {
+		m.failure = err
+	}
+	m.engine.Halt()
+}
+
+// noteProgress records that the machine moved forward (an access
+// completed or a barrier was crossed).
+func (m *Machine) noteProgress() {
+	m.progress++
+	m.lastProgress = m.engine.Now()
+}
+
+// diagnose renders the stall diagnostic: which processors are stuck on
+// what, which directory entries are mid-transaction, what the reliable
+// transport is still retrying, and who has reached the barrier.
+func (m *Machine) diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diagnostic at t=%v, iteration %d of %d, %d accesses completed:\n",
+		m.engine.Now(), m.iter, m.app.Iterations(), m.progress)
+
+	fmt.Fprintf(&b, "  barrier: %d of %d processors arrived\n", m.arrived, len(m.procs))
+	for i := range m.procs {
+		p := &m.procs[i]
+		if p.next == 0 || p.next > len(p.seq) {
+			continue
+		}
+		a := p.seq[p.next-1] // next was advanced when the access issued
+		op := "load"
+		if a.Write {
+			op = "store"
+		}
+		fmt.Fprintf(&b, "  %v: access %d of %d last issued (%s %#x, home %v)\n",
+			p.id, p.next, len(p.seq), op, uint64(a.Addr), m.geom.Home(m.geom.Block(a.Addr)))
+	}
+
+	const maxLines = 8 // keep dumps readable on big machines
+	lines := 0
+	for i, c := range m.caches {
+		for _, pl := range c.PendingLines() {
+			if lines++; lines > maxLines {
+				break
+			}
+			fmt.Fprintf(&b, "  cache %v: %s of %#x pending (state %v)\n",
+				coherence.NodeID(i), pl.Kind, uint64(pl.Addr), pl.State)
+		}
+	}
+	lines = 0
+	for i, d := range m.dirs {
+		for _, be := range d.BusyEntries() {
+			if lines++; lines > maxLines {
+				break
+			}
+			fmt.Fprintf(&b, "  directory %v: %#x busy for %v (%d acks left, %d queued)\n",
+				coherence.NodeID(i), uint64(be.Addr), be.Requestor, be.AcksLeft, be.Queued)
+		}
+	}
+	if m.transport != nil {
+		inflight := m.transport.Inflight()
+		for i, f := range inflight {
+			if i >= maxLines {
+				fmt.Fprintf(&b, "  ... %d more in-flight frames\n", len(inflight)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  retransmitting %v->%v frame %d (%v, %d retries, first sent t=%v)\n",
+				f.Src, f.Dst, f.TSeq, f.Msg, f.Retries, f.SentAt)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // startIteration loads every processor's access sequence for the
@@ -203,6 +337,7 @@ func (m *Machine) step(p *proc) {
 	p.next++
 	m.accesses++
 	m.caches[p.id].Access(a.Addr, a.Write, func() {
+		m.noteProgress()
 		m.engine.After(m.thinkTime, func() { m.step(p) })
 	})
 }
@@ -211,6 +346,7 @@ func (m *Machine) step(p *proc) {
 // iteration, notifies observers, and releases everyone into the next
 // iteration after the barrier latency.
 func (m *Machine) barrierArrive() {
+	m.noteProgress()
 	m.arrived++
 	if m.arrived < len(m.procs) {
 		return

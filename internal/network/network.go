@@ -9,21 +9,70 @@
 // That is exactly the property that makes multi-consumer request arrival
 // order unpredictable (Section 3.1's two-consumer example) while keeping
 // each individual conversation sane.
+//
+// When a fault plan (sim.Config.Faults) is enabled the wire stops being
+// ideal: packets may be dropped, duplicated, or jittered, and per-link
+// FIFO no longer holds on the raw wire. The reliable transport
+// (internal/reliable) layered above restores exactly-once in-order
+// delivery to the protocol; this package only models the imperfect
+// medium. All fault decisions come from the deterministic injector in
+// internal/faults, so perturbed runs remain reproducible.
 package network
 
 import (
 	"fmt"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 )
 
 // Handler receives a delivered message at its destination node.
 type Handler func(msg coherence.Msg)
 
+// Packet is the unit the wire actually carries: either a coherence
+// message or a transport control frame (an acknowledgment from the
+// reliable layer). The protocol never sees control frames.
+type Packet struct {
+	Src, Dst coherence.NodeID
+	// Msg is the coherence payload; it is the zero Msg for control
+	// frames.
+	Msg coherence.Msg
+	// Ctrl marks a transport control frame (reliable-delivery ack).
+	Ctrl bool
+	// TSeq is the reliable transport's per-link sequence number (data
+	// frames) or cumulative acknowledgment (control frames). Zero when
+	// the reliable layer is not in use.
+	TSeq uint64
+	// Retx marks a retransmission of a previously injected frame
+	// (counted separately in Stats).
+	Retx bool
+}
+
+// PacketHandler receives a delivered packet at its destination node.
+type PacketHandler func(pkt Packet)
+
+// SendError describes a malformed injection. Send and SendPacket panic
+// with *SendError — a malformed message is a simulator bug, not a
+// recoverable condition — so tests can recover and inspect the typed
+// cause.
+type SendError struct {
+	// Pkt is the offending packet.
+	Pkt Packet
+	// Reason is a stable, human-readable cause ("invalid message
+	// type", "unbound destination").
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *SendError) Error() string {
+	return fmt.Sprintf("network: %s in %v", e.Reason, e.Pkt.Msg)
+}
+
 // Stats aggregates network activity counters.
 type Stats struct {
-	// MessagesSent counts every message injected.
+	// MessagesSent counts every coherence message injected, including
+	// retransmissions (they occupy the wire like any other message).
 	MessagesSent uint64
 	// MessagesByType counts injections per message type.
 	MessagesByType [coherence.NumMsgTypes]uint64
@@ -32,18 +81,32 @@ type Stats struct {
 	// LocalMessages counts messages whose source and destination node
 	// coincide (delivered without touching the wire).
 	LocalMessages uint64
+	// CtrlMessages counts transport control frames (reliable-delivery
+	// acks); zero without fault injection.
+	CtrlMessages uint64
+	// Retransmits counts re-injections by the reliable transport.
+	Retransmits uint64
+	// FaultDropped counts packets the fault injector destroyed on the
+	// wire (including blackout casualties).
+	FaultDropped uint64
+	// FaultDuplicated counts packets the fault injector delivered
+	// twice.
+	FaultDuplicated uint64
 }
 
 // Network connects N nodes. Create one with New, attach a Handler per
-// node with Bind, then Send messages. Delivery is scheduled on the
-// shared sim.Engine.
+// node with Bind (or BindPacket for transport layers), then Send
+// messages. Delivery is scheduled on the shared sim.Engine.
 type Network struct {
 	engine   *sim.Engine
 	latency  sim.Time // end-to-end remote latency (NI + wire + NI)
 	localLat sim.Time // latency for node-local delivery
-	handlers []Handler
+	handlers []PacketHandler
+	injector *faults.Injector // nil = perfectly reliable wire
 	// lastDelivery tracks, per (src,dst) link, the timestamp of the
-	// most recently scheduled delivery, enforcing FIFO per link.
+	// most recently scheduled delivery, enforcing FIFO per link on the
+	// fault-free path. With an injector attached, jitter may legally
+	// reorder a link, so the clamp is not applied.
 	lastDelivery []sim.Time
 	nodes        int
 	seq          uint64
@@ -51,7 +114,8 @@ type Network struct {
 }
 
 // New creates a network over n nodes using the cfg latencies and the
-// given engine.
+// given engine. An enabled cfg.Faults plan attaches the deterministic
+// fault injector to the delivery path.
 func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -59,12 +123,17 @@ func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("network: nil engine")
 	}
+	inj, err := faults.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	n := cfg.Nodes
 	return &Network{
 		engine:       engine,
 		latency:      cfg.MessageLatencyNs(),
 		localLat:     cfg.BusTransferNs(cfg.CacheBlockBytes),
-		handlers:     make([]Handler, n),
+		handlers:     make([]PacketHandler, n),
+		injector:     inj,
 		lastDelivery: make([]sim.Time, n*n),
 		nodes:        n,
 	}, nil
@@ -73,9 +142,25 @@ func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
 // Nodes returns the number of attached nodes.
 func (nw *Network) Nodes() int { return nw.nodes }
 
+// Faulty reports whether a fault injector perturbs this network.
+func (nw *Network) Faulty() bool { return nw.injector != nil }
+
 // Bind installs the delivery handler for node id. It must be called for
-// every node before the first Send to that node.
+// every node before the first Send to that node. Control frames never
+// reach a Handler; use BindPacket to receive them.
 func (nw *Network) Bind(id coherence.NodeID, h Handler) {
+	nw.BindPacket(id, func(pkt Packet) {
+		if pkt.Ctrl {
+			panic(&SendError{Pkt: pkt, Reason: "control frame delivered to a message handler"})
+		}
+		h(pkt.Msg)
+	})
+}
+
+// BindPacket installs a packet-level delivery handler for node id,
+// receiving transport control frames as well as coherence messages.
+// The reliable transport uses this; protocol code uses Bind.
+func (nw *Network) BindPacket(id coherence.NodeID, h PacketHandler) {
 	nw.handlers[int(id)] = h
 }
 
@@ -83,40 +168,76 @@ func (nw *Network) Bind(id coherence.NodeID, h Handler) {
 func (nw *Network) Stats() Stats { return nw.stats }
 
 // Send injects msg into the network. Delivery to msg.Dst is scheduled
-// after the configured latency, respecting per-link FIFO order. Send
-// panics on malformed messages (unbound destination, invalid type):
-// those are simulator bugs, not recoverable conditions.
+// after the configured latency, respecting per-link FIFO order on a
+// fault-free wire. Send panics with *SendError on malformed messages
+// (unbound destination, invalid type): those are simulator bugs, not
+// recoverable conditions.
 func (nw *Network) Send(msg coherence.Msg) {
-	if !msg.Type.Valid() {
-		panic(fmt.Sprintf("network: invalid message type in %v", msg))
+	nw.SendPacket(Packet{Src: msg.Src, Dst: msg.Dst, Msg: msg})
+}
+
+// SendPacket injects a packet — a coherence message or a transport
+// control frame. Like Send it panics with *SendError on malformed
+// input.
+func (nw *Network) SendPacket(pkt Packet) {
+	if !pkt.Ctrl && !pkt.Msg.Type.Valid() {
+		panic(&SendError{Pkt: pkt, Reason: "invalid message type"})
 	}
-	if int(msg.Dst) < 0 || int(msg.Dst) >= nw.nodes || nw.handlers[msg.Dst] == nil {
-		panic(fmt.Sprintf("network: no handler bound for destination in %v", msg))
+	if int(pkt.Dst) < 0 || int(pkt.Dst) >= nw.nodes || nw.handlers[pkt.Dst] == nil {
+		panic(&SendError{Pkt: pkt, Reason: "no handler bound for destination"})
 	}
 	nw.seq++
-	msg.SeqNo = nw.seq
-
-	nw.stats.MessagesSent++
-	nw.stats.MessagesByType[msg.Type]++
-	if msg.Type.CarriesData() {
-		nw.stats.DataMessages++
-	}
+	wireSeq := nw.seq
 
 	lat := nw.latency
-	if msg.Src == msg.Dst {
+	switch {
+	case pkt.Ctrl:
+		nw.stats.CtrlMessages++
+	default:
+		pkt.Msg.SeqNo = wireSeq
+		nw.stats.MessagesSent++
+		nw.stats.MessagesByType[pkt.Msg.Type]++
+		if pkt.Msg.Type.CarriesData() {
+			nw.stats.DataMessages++
+		}
+	}
+	if pkt.Retx {
+		nw.stats.Retransmits++
+	}
+	if pkt.Src == pkt.Dst {
 		lat = nw.localLat
-		nw.stats.LocalMessages++
+		if !pkt.Ctrl {
+			nw.stats.LocalMessages++
+		}
 	}
 
-	// FIFO per link: never deliver before the previous message on the
-	// same (src,dst) link.
-	link := int(msg.Src)*nw.nodes + int(msg.Dst)
-	deliverAt := nw.engine.Now() + lat
-	if deliverAt < nw.lastDelivery[link] {
-		deliverAt = nw.lastDelivery[link]
-	}
-	nw.lastDelivery[link] = deliverAt
+	h := nw.handlers[pkt.Dst]
 
-	h := nw.handlers[msg.Dst]
-	nw.engine.At(deliverAt, func() { h(msg) })
+	// Node-local delivery never touches the wire; faults do not apply.
+	if nw.injector == nil || pkt.Src == pkt.Dst {
+		// FIFO per link: never deliver before the previous message on
+		// the same (src,dst) link.
+		link := int(pkt.Src)*nw.nodes + int(pkt.Dst)
+		deliverAt := nw.engine.Now() + lat
+		if deliverAt < nw.lastDelivery[link] {
+			deliverAt = nw.lastDelivery[link]
+		}
+		nw.lastDelivery[link] = deliverAt
+		nw.engine.At(deliverAt, func() { h(pkt) })
+		return
+	}
+
+	// Faulty wire: the injector decides this packet's fate. Jitter may
+	// reorder the link, so the FIFO clamp is deliberately skipped — the
+	// reliable transport re-sequences above us.
+	d := nw.injector.Decide(pkt.Src, pkt.Dst, wireSeq, uint64(nw.engine.Now()))
+	if d.Drop {
+		nw.stats.FaultDropped++
+		return
+	}
+	nw.engine.At(nw.engine.Now()+lat+sim.Time(d.JitterNs), func() { h(pkt) })
+	if d.Duplicate {
+		nw.stats.FaultDuplicated++
+		nw.engine.At(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), func() { h(pkt) })
+	}
 }

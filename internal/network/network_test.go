@@ -1,9 +1,11 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 )
 
@@ -142,4 +144,172 @@ func TestLocalDeliveryFasterThanRemote(t *testing.T) {
 	if localAt >= remoteAt {
 		t.Errorf("local delivery (%v) should be faster than remote (%v)", localAt, remoteAt)
 	}
+}
+
+func faultyNet(t *testing.T, plan faults.Plan) (*sim.Engine, *Network) {
+	t.Helper()
+	var e sim.Engine
+	cfg := sim.DefaultConfig()
+	cfg.Faults = plan
+	nw, err := New(&e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &e, nw
+}
+
+func TestSendPanicsWithTypedError(t *testing.T) {
+	cases := []struct {
+		name   string
+		msg    coherence.Msg
+		reason string
+	}{
+		{"invalid type", coherence.Msg{Src: 0, Dst: 0, Type: coherence.MsgInvalid}, "invalid message type"},
+		{"unbound destination", coherence.Msg{Src: 0, Dst: 5, Type: coherence.GetROReq}, "no handler bound"},
+		{"out-of-range destination", coherence.Msg{Src: 0, Dst: 99, Type: coherence.GetROReq}, "no handler bound"},
+		{"negative destination", coherence.Msg{Src: 0, Dst: -2, Type: coherence.GetROReq}, "no handler bound"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, nw := testNet(t)
+			nw.Bind(0, func(coherence.Msg) {})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				serr, ok := r.(*SendError)
+				if !ok {
+					t.Fatalf("panic value %T, want *SendError", r)
+				}
+				if !strings.Contains(serr.Reason, strings.SplitN(c.reason, " ", 2)[0]) {
+					t.Errorf("Reason = %q, want one mentioning %q", serr.Reason, c.reason)
+				}
+				if serr.Error() == "" {
+					t.Error("empty Error()")
+				}
+			}()
+			nw.Send(c.msg)
+		})
+	}
+}
+
+func TestPerLinkFIFOWithDisabledFaultPlan(t *testing.T) {
+	// A zero-valued fault plan (even with a seed set) must leave the
+	// wire on the exact seed-identical FIFO path.
+	e, nw := faultyNet(t, faults.Plan{Seed: 1234})
+	if nw.Faulty() {
+		t.Fatal("seed-only plan attached an injector")
+	}
+	var got []uint64
+	nw.Bind(1, func(m coherence.Msg) { got = append(got, uint64(m.Addr)) })
+	nw.Bind(0, func(coherence.Msg) {})
+	for i := uint64(1); i <= 100; i++ {
+		nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: coherence.Addr(i * 64)})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("delivered %d, want 100", len(got))
+	}
+	for i, a := range got {
+		if a != uint64(i+1)*64 {
+			t.Fatalf("FIFO violated at %d under disabled plan", i)
+		}
+	}
+}
+
+func TestJitterReordersRawWire(t *testing.T) {
+	// With jitter far exceeding the send gap, the raw wire legally
+	// reorders a link — the property the reliable transport exists to
+	// repair (its tests prove the repair).
+	e, nw := faultyNet(t, faults.Plan{Seed: 7, JitterNs: 5000})
+	var got []uint64
+	nw.Bind(1, func(m coherence.Msg) { got = append(got, uint64(m.Addr)) })
+	nw.Bind(0, func(coherence.Msg) {})
+	for i := uint64(1); i <= 100; i++ {
+		i := i
+		e.At(sim.Time(i*10), func() {
+			nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: coherence.Addr(i * 64)})
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("delivered %d, want 100 (jitter must not lose packets)", len(got))
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("jittered wire delivered perfectly in order; injector is not perturbing delivery")
+	}
+}
+
+func TestDropAndDupCounters(t *testing.T) {
+	e, nw := faultyNet(t, faults.Plan{Seed: 13, DropProb: 0.3, DupProb: 0.3})
+	delivered := 0
+	nw.Bind(1, func(coherence.Msg) { delivered++ })
+	nw.Bind(0, func(coherence.Msg) {})
+	const n = 500
+	for i := 0; i < n; i++ {
+		nw.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: 0x40})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.FaultDropped == 0 || s.FaultDuplicated == 0 {
+		t.Fatalf("counters not advancing: dropped=%d duplicated=%d", s.FaultDropped, s.FaultDuplicated)
+	}
+	if want := n - int(s.FaultDropped) + int(s.FaultDuplicated); delivered != want {
+		t.Errorf("delivered %d, want %d (%d sent - %d dropped + %d duplicated)",
+			delivered, want, n, s.FaultDropped, s.FaultDuplicated)
+	}
+	if s.MessagesSent != n {
+		t.Errorf("MessagesSent = %d, want %d (drops still count as injections)", s.MessagesSent, n)
+	}
+}
+
+func TestCtrlFramesBypassTypeValidationAndCount(t *testing.T) {
+	e, nw := testNet(t)
+	acks := 0
+	nw.BindPacket(1, func(pkt Packet) {
+		if pkt.Ctrl {
+			acks++
+		}
+	})
+	nw.SendPacket(Packet{Src: 0, Dst: 1, Ctrl: true, TSeq: 17})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if acks != 1 {
+		t.Fatalf("ack delivered %d times, want 1", acks)
+	}
+	s := nw.Stats()
+	if s.CtrlMessages != 1 {
+		t.Errorf("CtrlMessages = %d, want 1", s.CtrlMessages)
+	}
+	if s.MessagesSent != 0 {
+		t.Errorf("MessagesSent = %d; control frames must not count as coherence messages", s.MessagesSent)
+	}
+}
+
+func TestCtrlFrameToMessageHandlerPanics(t *testing.T) {
+	e, nw := testNet(t)
+	nw.Bind(1, func(coherence.Msg) {})
+	nw.SendPacket(Packet{Src: 0, Dst: 1, Ctrl: true})
+	defer func() {
+		if _, ok := recover().(*SendError); !ok {
+			t.Error("control frame into a message-level handler did not panic with *SendError")
+		}
+	}()
+	// The panic fires at delivery time, inside the event.
+	_, _ = e.Run(0)
 }

@@ -1,0 +1,312 @@
+// Package reliable implements an end-to-end reliable-delivery
+// transport between the coherence protocol and the lossy interconnect:
+// per-link sequence numbers, receiver-side deduplication and in-order
+// release, cumulative acknowledgments, and timeout-driven
+// retransmission with exponential backoff and a capped retry count.
+//
+// The Stache protocol (internal/stache) assumes exactly-once, per-link
+// FIFO delivery — the seed network provided that by construction. With
+// fault injection enabled (internal/faults) the wire may drop,
+// duplicate, or reorder packets; this transport restores the
+// protocol's assumptions on top of the faulty wire, so the protocol
+// runs unchanged. It mirrors how real distributed-shared-memory
+// systems layer a reliable transport under a coherence protocol rather
+// than making every protocol state machine loss-aware.
+//
+// The transport is only wired into the machine when the fault plan is
+// enabled; on the default reliable wire it stays entirely out of the
+// message flow, preserving bit-identical seed behavior.
+package reliable
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/network"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+// DefaultMaxRetries caps retransmissions of one frame before the link
+// is declared dead (sim.Config.RetxMaxRetries overrides).
+const DefaultMaxRetries = 12
+
+// Stats aggregates transport activity.
+type Stats struct {
+	// DataSent counts first transmissions of coherence messages.
+	DataSent uint64
+	// Retransmits counts timeout-driven re-sends.
+	Retransmits uint64
+	// Delivered counts messages released, in order, to the protocol.
+	Delivered uint64
+	// DupsDiscarded counts received frames whose sequence number had
+	// already been delivered or buffered (wire duplicates and spurious
+	// retransmissions).
+	DupsDiscarded uint64
+	// HeldOutOfOrder counts frames that arrived ahead of a gap and
+	// waited in the reorder buffer.
+	HeldOutOfOrder uint64
+	// AcksSent and AcksRecv count cumulative acknowledgment frames.
+	AcksSent uint64
+	AcksRecv uint64
+}
+
+// outstanding is one unacknowledged frame at the sender.
+type outstanding struct {
+	msg     coherence.Msg
+	retries int
+	backoff sim.Time
+	sentAt  sim.Time
+}
+
+// link is the per-(src,dst) transport state. The sender-side fields
+// live with the source node, the receiver-side fields with the
+// destination; both sides of one directed link share this struct
+// because the whole simulation runs in one process.
+type link struct {
+	src, dst coherence.NodeID
+
+	// Sender side.
+	nextSend uint64 // last assigned sequence number (first frame is 1)
+	unacked  map[uint64]*outstanding
+
+	// Receiver side.
+	delivered uint64 // highest sequence released in order
+	held      map[uint64]coherence.Msg
+}
+
+// Inflight describes one unacknowledged frame, for diagnostics.
+type Inflight struct {
+	Src, Dst coherence.NodeID
+	TSeq     uint64
+	Retries  int
+	SentAt   sim.Time
+	Msg      coherence.Msg
+}
+
+// Transport provides reliable exactly-once in-order delivery over a
+// faulty network. It implements the stache.Sender interface; bind
+// upper-layer handlers with Bind instead of network.Bind.
+type Transport struct {
+	engine     *sim.Engine
+	net        *network.Network
+	nodes      int
+	timeout    sim.Time // initial retransmit timeout
+	maxRetries int
+	handlers   []network.Handler
+	links      []*link
+	stats      Stats
+	onFailure  func(error)
+	failure    error
+}
+
+// New layers a reliable transport over nw, claiming every node's
+// packet handler. Upper layers must bind through Transport.Bind. The
+// retransmit timeout and retry cap come from cfg (RetxTimeoutNs,
+// RetxMaxRetries), with defaults derived from the message latency and
+// the fault plan's jitter bound.
+func New(engine *sim.Engine, nw *network.Network, cfg sim.Config) *Transport {
+	timeout := cfg.RetxTimeoutNs
+	if timeout == 0 {
+		// An ack round trip is two one-way latencies; add the worst
+		// jitter on both legs plus slack so a healthy link almost never
+		// retransmits spuriously (spurious copies are deduplicated, but
+		// they cost simulated wire occupancy).
+		timeout = 4*cfg.MessageLatencyNs() + 2*sim.Time(cfg.Faults.JitterNs) + 100
+	}
+	maxRetries := cfg.RetxMaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	t := &Transport{
+		engine:     engine,
+		net:        nw,
+		nodes:      nw.Nodes(),
+		timeout:    timeout,
+		maxRetries: maxRetries,
+		handlers:   make([]network.Handler, nw.Nodes()),
+		links:      make([]*link, nw.Nodes()*nw.Nodes()),
+	}
+	for i := 0; i < t.nodes; i++ {
+		node := coherence.NodeID(i)
+		nw.BindPacket(node, t.receive)
+	}
+	return t
+}
+
+// Bind installs the upper-layer (protocol) handler for node id.
+func (t *Transport) Bind(id coherence.NodeID, h network.Handler) {
+	t.handlers[int(id)] = h
+}
+
+// OnFailure installs the hard-failure callback, invoked once when a
+// frame exhausts its retries (the link is effectively dead). Without a
+// callback the failure is only recorded; Err exposes it.
+func (t *Transport) OnFailure(f func(error)) { t.onFailure = f }
+
+// Err returns the first hard failure, or nil.
+func (t *Transport) Err() error { return t.failure }
+
+// Stats returns a copy of the accumulated counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// link returns (creating on demand) the state for the directed link
+// src->dst.
+func (t *Transport) linkFor(src, dst coherence.NodeID) *link {
+	i := int(src)*t.nodes + int(dst)
+	l := t.links[i]
+	if l == nil {
+		l = &link{
+			src:     src,
+			dst:     dst,
+			unacked: make(map[uint64]*outstanding),
+			held:    make(map[uint64]coherence.Msg),
+		}
+		t.links[i] = l
+	}
+	return l
+}
+
+// Inflight returns every unacknowledged frame, ordered by (src, dst,
+// tseq) for deterministic diagnostics.
+func (t *Transport) Inflight() []Inflight {
+	var out []Inflight
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		seqs := make([]uint64, 0, len(l.unacked))
+		for ts := range l.unacked {
+			seqs = append(seqs, ts)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, ts := range seqs {
+			o := l.unacked[ts]
+			out = append(out, Inflight{
+				Src: l.src, Dst: l.dst, TSeq: ts,
+				Retries: o.retries, SentAt: o.sentAt, Msg: o.msg,
+			})
+		}
+	}
+	return out
+}
+
+// Send implements stache.Sender: the message is sequenced on its link,
+// buffered for retransmission, and injected. Node-local messages never
+// touch the wire and bypass sequencing entirely.
+func (t *Transport) Send(msg coherence.Msg) {
+	if msg.Src == msg.Dst {
+		t.net.Send(msg)
+		return
+	}
+	l := t.linkFor(msg.Src, msg.Dst)
+	l.nextSend++
+	ts := l.nextSend
+	l.unacked[ts] = &outstanding{msg: msg, backoff: t.timeout, sentAt: t.engine.Now()}
+	t.stats.DataSent++
+	t.net.SendPacket(network.Packet{Src: msg.Src, Dst: msg.Dst, Msg: msg, TSeq: ts})
+	t.armTimer(l, ts)
+}
+
+// armTimer schedules the retransmit check for frame ts on l, using the
+// frame's current backoff.
+func (t *Transport) armTimer(l *link, ts uint64) {
+	t.engine.After(l.unacked[ts].backoff, func() { t.timerFired(l, ts) })
+}
+
+// timerFired retransmits frame ts if it is still unacknowledged,
+// doubling its backoff; after maxRetries the link is declared dead.
+func (t *Transport) timerFired(l *link, ts uint64) {
+	o, ok := l.unacked[ts]
+	if !ok || t.failure != nil {
+		return // acked meanwhile, or the run is already failing
+	}
+	if o.retries >= t.maxRetries {
+		t.fail(fmt.Errorf("reliable: link %v->%v dead: frame %d (%v, first sent at %v) unacknowledged after %d retransmits",
+			l.src, l.dst, ts, o.msg, o.sentAt, o.retries))
+		return
+	}
+	o.retries++
+	o.backoff *= 2
+	t.stats.Retransmits++
+	t.net.SendPacket(network.Packet{Src: l.src, Dst: l.dst, Msg: o.msg, TSeq: ts, Retx: true})
+	t.armTimer(l, ts)
+}
+
+// fail records the first hard failure and notifies the machine.
+func (t *Transport) fail(err error) {
+	if t.failure != nil {
+		return
+	}
+	t.failure = err
+	if t.onFailure != nil {
+		t.onFailure(err)
+	}
+}
+
+// receive is the packet handler bound on every node: acks retire
+// sender-side state; data frames are deduplicated, released in order,
+// and cumulatively acknowledged.
+func (t *Transport) receive(pkt network.Packet) {
+	if pkt.Ctrl {
+		t.handleAck(pkt)
+		return
+	}
+	if pkt.TSeq == 0 {
+		// Unsequenced (node-local) message: deliver directly.
+		t.handlers[pkt.Dst](pkt.Msg)
+		return
+	}
+	l := t.linkFor(pkt.Src, pkt.Dst)
+	switch {
+	case pkt.TSeq <= l.delivered:
+		// Already released: a wire duplicate or a spurious
+		// retransmission. Our previous ack may have been lost, so
+		// re-acknowledge.
+		t.stats.DupsDiscarded++
+
+	case pkt.TSeq == l.delivered+1:
+		t.release(l, pkt.Msg)
+		// Drain any frames the gap was holding back.
+		for {
+			m, ok := l.held[l.delivered+1]
+			if !ok {
+				break
+			}
+			delete(l.held, l.delivered+1)
+			t.release(l, m)
+		}
+
+	default: // ahead of a gap: buffer
+		if _, ok := l.held[pkt.TSeq]; ok {
+			t.stats.DupsDiscarded++
+		} else {
+			l.held[pkt.TSeq] = pkt.Msg
+			t.stats.HeldOutOfOrder++
+		}
+	}
+	// Cumulative ack: everything up to and including l.delivered has
+	// been released in order. Acks ride the same faulty wire; loss is
+	// repaired by the next ack or a retransmission-triggered re-ack.
+	t.stats.AcksSent++
+	t.net.SendPacket(network.Packet{Src: pkt.Dst, Dst: pkt.Src, Ctrl: true, TSeq: l.delivered})
+}
+
+// release hands msg to the protocol in order.
+func (t *Transport) release(l *link, msg coherence.Msg) {
+	l.delivered++
+	t.stats.Delivered++
+	t.handlers[l.dst](msg)
+}
+
+// handleAck retires every unacknowledged frame covered by a cumulative
+// ack. The ack for link src->dst travels dst->src.
+func (t *Transport) handleAck(pkt network.Packet) {
+	t.stats.AcksRecv++
+	l := t.linkFor(pkt.Dst, pkt.Src)
+	for ts := range l.unacked {
+		if ts <= pkt.TSeq {
+			delete(l.unacked, ts)
+		}
+	}
+}

@@ -236,6 +236,17 @@ func Latency(w io.Writer, rows []experiments.LatencyRow) {
 	}
 }
 
+// FaultSweep renders the lossy-interconnect robustness sweep.
+func FaultSweep(w io.Writer, rows []experiments.FaultRow) {
+	fmt.Fprintln(w, "FAULT SWEEP. Depth-1 accuracy on a lossy wire repaired by the reliable transport.")
+	fmt.Fprintf(w, "  %-14s %6s %9s %10s %9s %9s %12s\n",
+		"app", "drop", "accuracy", "messages", "dropped", "dup'd", "retransmits")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %5.1f%% %8.1f%% %10d %9d %9d %12d\n",
+			r.App, 100*r.DropProb, r.Overall, r.Messages, r.Dropped, r.Duplicated, r.Retransmits)
+	}
+}
+
 // Adapt renders the time-to-adapt analysis.
 func Adapt(w io.Writer, rows []experiments.AdaptRow) {
 	fmt.Fprintln(w, "SECTION 6.2. Time to adapt (iterations until steady-state accuracy).")

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/faults"
+)
 
 // Config holds the simulated machine parameters. DefaultConfig
 // reproduces Table 3 of the paper.
@@ -33,6 +37,28 @@ type Config struct {
 	// ProtocolOccupancyNs approximates the software protocol handler
 	// occupancy per message (Stache runs coherence in software).
 	ProtocolOccupancyNs Time
+
+	// Faults configures interconnect fault injection (drops,
+	// duplication, jitter, link blackouts). The zero value is a
+	// perfectly reliable wire and keeps the delivery path bit-identical
+	// to a fault-free build. When the plan is enabled the machine
+	// layers the reliable end-to-end transport (internal/reliable)
+	// between the protocol and the network.
+	Faults faults.Plan
+	// WatchdogNs is the forward-progress watchdog span: if no memory
+	// access completes and no barrier is crossed within WatchdogNs of
+	// simulated time while work remains, the run fails fast with a
+	// diagnostic dump instead of spinning until the event budget
+	// exhausts. 0 disables the watchdog.
+	WatchdogNs Time
+	// RetxTimeoutNs is the reliable transport's initial retransmit
+	// timeout. 0 derives a default from the message latency and the
+	// fault plan's jitter bound.
+	RetxTimeoutNs Time
+	// RetxMaxRetries caps retransmissions of a single message before
+	// the transport declares the link dead and fails the run. 0 means
+	// the default of 12.
+	RetxMaxRetries int
 }
 
 // DefaultConfig returns the Table 3 machine: 16 nodes, 1 GHz
@@ -54,6 +80,10 @@ func DefaultConfig() Config {
 		NetworkLatencyNs:    40,
 		NIAccessNs:          60,
 		ProtocolOccupancyNs: 100,
+		// 5 ms of simulated time without a single access completion is
+		// orders of magnitude beyond any healthy transaction on this
+		// machine; treat it as a stall.
+		WatchdogNs: 5_000_000,
 	}
 }
 
@@ -72,8 +102,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: CacheAssoc=%d must be positive", c.CacheAssoc)
 	case c.CacheBytes < c.CacheBlockBytes:
 		return fmt.Errorf("sim: CacheBytes=%d smaller than one block", c.CacheBytes)
+	case c.RetxMaxRetries < 0:
+		return fmt.Errorf("sim: RetxMaxRetries=%d must not be negative", c.RetxMaxRetries)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // BusTransferNs returns the time to move n bytes across the local

@@ -71,6 +71,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled-but-unfired events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextAt returns the timestamp of the earliest queued event. ok is
+// false when the queue is empty.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past is
 // a programming error and panics, because it would silently reorder
 // causality.
@@ -111,7 +120,9 @@ func (e *Engine) Run(maxEvents uint64) (uint64, error) {
 	var fired uint64
 	for !e.halted {
 		if maxEvents != 0 && fired >= maxEvents {
-			return fired, fmt.Errorf("sim: event budget %d exhausted at t=%v (likely livelock)", maxEvents, e.now)
+			next, _ := e.NextAt()
+			return fired, fmt.Errorf("sim: event budget %d exhausted at t=%v with %d events pending (earliest at %v); likely livelock",
+				maxEvents, e.now, e.Pending(), next)
 		}
 		if !e.Step() {
 			return fired, nil

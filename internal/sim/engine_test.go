@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -250,5 +251,86 @@ func TestMessageLatency(t *testing.T) {
 	c := DefaultConfig()
 	if got := c.MessageLatencyNs(); got != 160 {
 		t.Errorf("MessageLatencyNs = %v, want 160ns (60+40+60)", got)
+	}
+}
+
+func TestEngineBudgetErrorDiagnostics(t *testing.T) {
+	var e Engine
+	var tick func()
+	tick = func() { e.After(7, tick) }
+	e.At(0, tick)
+	_, err := e.Run(10)
+	if err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+	// The error must name the pending-event count and the earliest
+	// queued timestamp so a livelock is debuggable from the message
+	// alone.
+	msg := err.Error()
+	if !strings.Contains(msg, "1 events pending") {
+		t.Errorf("error %q does not report the pending count", msg)
+	}
+	next, ok := e.NextAt()
+	if !ok {
+		t.Fatal("queue unexpectedly empty")
+	}
+	if !strings.Contains(msg, next.String()) {
+		t.Errorf("error %q does not report the earliest queued event (%v)", msg, next)
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt on an empty queue reports ok")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	if at, ok := e.NextAt(); !ok || at != 10 {
+		t.Errorf("NextAt = %v,%v, want 10,true", at, ok)
+	}
+}
+
+func TestEngineTopLevelPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {})
+	if !e.Step() {
+		t.Fatal("Step fired nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling at t=5 with now=10 did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunUntilPastDeadlineDrains(t *testing.T) {
+	var e Engine
+	fired := 0
+	for _, at := range []Time{5, 10, 15} {
+		e.At(at, func() { fired++ })
+	}
+	// A deadline beyond every queued event drains the queue and then
+	// advances the clock to the deadline, not just to the last event.
+	if n := e.RunUntil(1000); n != 3 {
+		t.Fatalf("RunUntil fired %d events, want 3", n)
+	}
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("Now() = %v, want 1000 (deadline)", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+	// Re-running with an earlier deadline is a no-op that leaves time
+	// alone (time never moves backwards).
+	if n := e.RunUntil(500); n != 0 {
+		t.Errorf("second RunUntil fired %d events, want 0", n)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("Now() = %v after earlier deadline, want 1000", e.Now())
 	}
 }

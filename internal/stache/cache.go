@@ -2,6 +2,7 @@ package stache
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 )
@@ -174,6 +175,30 @@ func (c *Cache) State(addr coherence.Addr) CacheState {
 
 // LineCount returns how many remote blocks this cache has ever held.
 func (c *Cache) LineCount() int { return len(c.lines) }
+
+// PendingLine describes one outstanding cache-side transaction, for
+// stall diagnostics.
+type PendingLine struct {
+	Addr coherence.Addr
+	// Kind is the transaction kind ("fetch-ro", "fetch-rw", "upgrade",
+	// "writeback").
+	Kind string
+	// State is the line's current stable state.
+	State CacheState
+}
+
+// PendingLines returns every line with an outstanding transaction,
+// ordered by address (deterministic for diagnostics and tests).
+func (c *Cache) PendingLines() []PendingLine {
+	var out []PendingLine
+	for addr, l := range c.lines {
+		if l.pending != pendNone {
+			out = append(out, PendingLine{Addr: addr, Kind: l.pending.String(), State: l.state})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
 
 // Stats returns (loads, stores, load misses, store misses, upgrade
 // misses, invalidations received).

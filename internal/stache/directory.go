@@ -2,6 +2,7 @@ package stache
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 )
@@ -147,6 +148,37 @@ func (d *Directory) EntryState(addr coherence.Addr) string {
 		})
 		return s + "}"
 	}
+}
+
+// BusyEntry describes one directory entry stuck mid-transaction, for
+// stall diagnostics.
+type BusyEntry struct {
+	Addr coherence.Addr
+	// Requestor is the node whose transaction the entry is serving.
+	Requestor coherence.NodeID
+	// AcksLeft is how many invalidation/downgrade acknowledgments the
+	// entry is still waiting for.
+	AcksLeft int
+	// Queued is how many requests wait behind the busy transaction.
+	Queued int
+}
+
+// BusyEntries returns every busy directory entry, ordered by address
+// (deterministic for diagnostics and tests).
+func (d *Directory) BusyEntries() []BusyEntry {
+	var out []BusyEntry
+	for addr, e := range d.entries {
+		if e.state == dirBusy {
+			out = append(out, BusyEntry{
+				Addr:      addr,
+				Requestor: e.current.node,
+				AcksLeft:  e.acksLeft,
+				Queued:    len(e.queue),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // homeState reports the home node's own access rights to addr, derived

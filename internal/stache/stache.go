@@ -207,3 +207,19 @@ const (
 	pendUpgrade
 	pendWriteback
 )
+
+func (k pendingKind) String() string {
+	switch k {
+	case pendNone:
+		return "none"
+	case pendFetchRO:
+		return "fetch-ro"
+	case pendFetchRW:
+		return "fetch-rw"
+	case pendUpgrade:
+		return "upgrade"
+	case pendWriteback:
+		return "writeback"
+	}
+	return fmt.Sprintf("pendingKind(%d)", uint8(k))
+}

@@ -66,6 +66,40 @@ type Trace struct {
 	Records    []Record
 }
 
+// NodeHashes returns one FNV-1a hash per node over that node's records
+// in capture order. Two runs of the same configuration and seed must
+// produce identical hash vectors; the determinism regression tests
+// compare them, and a mismatch pinpoints which node's stream diverged.
+func (t *Trace) NodeHashes() []uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := make([]uint64, t.Nodes)
+	for i := range h {
+		h[i] = offset64
+	}
+	mix := func(acc uint64, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			acc = (acc ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+		return acc
+	}
+	for _, r := range t.Records {
+		n := int(r.Node)
+		if n < 0 || n >= t.Nodes {
+			continue
+		}
+		h[n] = mix(h[n], uint64(r.Side))
+		h[n] = mix(h[n], uint64(r.Sender))
+		h[n] = mix(h[n], uint64(r.Type))
+		h[n] = mix(h[n], uint64(r.Addr))
+		h[n] = mix(h[n], uint64(r.Iter))
+	}
+	return h
+}
+
 // CountBySide returns how many records were captured on each side.
 func (t *Trace) CountBySide() (cache, dir uint64) {
 	for _, r := range t.Records {
