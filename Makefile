@@ -1,15 +1,23 @@
 # Build, lint, and test the whole module. `make` (or `make check`) is
-# the CI gate: vet, build, and the full test suite under the race
-# detector.
+# the CI gate: lint (vet + cosmosvet), build, and the full test suite
+# under the race detector. `make ci` mirrors the GitHub workflow
+# exactly.
 
 GO ?= go
 
-.PHONY: check vet build test race bench examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench examples clean
 
-check: vet build race
+check: lint build race
+
+ci: lint build test race
+
+lint: vet cosmosvet
 
 vet:
 	$(GO) vet ./...
+
+cosmosvet:
+	$(GO) run ./cmd/cosmosvet ./...
 
 build:
 	$(GO) build ./...

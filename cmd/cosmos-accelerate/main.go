@@ -14,6 +14,10 @@
 //	cosmos-accelerate -action rmw -app moldyn -scale medium
 //	cosmos-accelerate -action dsi -app producer-consumer
 //	cosmos-accelerate -action rmw -app migratory -depth 2
+//	cosmos-accelerate -action rmw -app moldyn -fault-drop 0.02 -fault-seed 7
+//
+// The -fault-* flags (drop, dup, jitter, seed) inject deterministic
+// network faults into both runs, as in the other cosmos tools.
 package main
 
 import (

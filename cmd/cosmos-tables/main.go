@@ -18,12 +18,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
 	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/report"
 )
+
+// extraNames is the single source of truth for the -extra experiments:
+// the flag help and the name validation are both derived from it.
+var extraNames = []string{
+	"latency", "adapt", "directed", "halfmig", "filterdepth", "variants",
+	"replacement", "accelerate", "pag", "states", "forwarding", "faultsweep",
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -36,7 +45,7 @@ func run() error {
 	var (
 		table  = flag.Int("table", 0, "render one table (3, 4, 5, 6, 7, or 8); 0 = all")
 		figure = flag.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
-		extra  = flag.String("extra", "", "extra experiment: latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep")
+		extra  = flag.String("extra", "", "extra experiment: "+strings.Join(extraNames, " | "))
 		scale  = flag.String("scale", "full", "workload scale: small | medium | full")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
@@ -54,13 +63,8 @@ func run() error {
 	if *figure != 0 && (*figure < 5 || *figure > 8) {
 		return fmt.Errorf("no figure %d in the paper's evaluation (want 5-8)", *figure)
 	}
-	validExtras := map[string]bool{
-		"": true, "latency": true, "adapt": true, "directed": true, "halfmig": true,
-		"filterdepth": true, "variants": true, "replacement": true, "accelerate": true,
-		"pag": true, "states": true, "forwarding": true, "faultsweep": true,
-	}
-	if !validExtras[*extra] {
-		return fmt.Errorf("unknown extra %q (see -h for the list)", *extra)
+	if *extra != "" && !slices.Contains(extraNames, *extra) {
+		return fmt.Errorf("unknown extra %q (want one of %s)", *extra, strings.Join(extraNames, " | "))
 	}
 	cfg.Scale = sc
 	suite := experiments.NewSuite(cfg)

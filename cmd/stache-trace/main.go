@@ -125,7 +125,12 @@ func printSummary(tr *trace.Trace) {
 	for t, n := range counts {
 		rows = append(rows, kv{t, n})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].t < rows[j].t // tie-break so output never depends on map order
+	})
 	fmt.Println("messages by type:")
 	for _, r := range rows {
 		fmt.Printf("  %-22s %10d (%.1f%%)\n", r.t, r.n, 100*float64(r.n)/float64(len(tr.Records)))

@@ -1,0 +1,81 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis, built for the
+// cosmosvet suite (cmd/cosmosvet). The container this repository grows
+// in has no module proxy access, so the x/tools framework cannot be
+// vendored; this package reimplements the slice of it the suite needs
+// on top of the standard library only: go/ast + go/types for the
+// analyses, `go list -export` for dependency resolution, and the
+// build cache's export data for type information of imports.
+//
+// The framework deliberately mirrors the x/tools API shape (Analyzer,
+// Pass, Reportf) so the analyzers in the sub-packages could be ported
+// to a real go/analysis multichecker by swapping imports if the
+// dependency ever becomes available.
+//
+// Suppression: a finding can be silenced with a comment on the same
+// line or the line directly above it:
+//
+//	//cosmosvet:allow <analyzer> <reason>
+//
+// The reason is mandatory — an allow comment without one is itself a
+// finding — and unused allow comments are reported so stale
+// suppressions cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// cosmosvet:allow comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps positions for every file of every loaded package.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and objects for every expression.
+	TypesInfo *types.Info
+	// ModulePath is the module the package belongs to
+	// ("github.com/cosmos-coherence/cosmos").
+	ModulePath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message form used by go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}

@@ -1,0 +1,130 @@
+// Package analysistest runs a single analyzer over a fixture package
+// and checks its findings against // want comment expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under the calling package's testdata/src/<name>
+// directory. They are real packages of this module — `go list` loads
+// explicitly named testdata paths even though wildcards skip them —
+// so fixtures type-check with the exact loader the production
+// cosmosvet binary uses, and may import the module's own packages.
+//
+// An expectation is a trailing comment of quoted regular expressions:
+//
+//	now := time.Now() // want `wall-clock`
+//
+// Every finding must match a want on its line and every want must be
+// matched by a finding; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of a // want comment. Both
+// backquoted and double-quoted forms are accepted.
+var wantRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// expectation is one want pattern awaiting a matching finding.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/flagged") and checks a's findings
+// against the fixture's want comments. Suppression via
+// //cosmosvet:allow is applied before matching, so fixtures can assert
+// the escape hatch works by carrying an allow and no want.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load([]string{"./" + strings.TrimPrefix(dir, "./")})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	expectations, err := collectWants(t, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(expectations, d) {
+			t.Errorf("%s: unexpected finding: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range expectations {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant marks and reports a want covering d.
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, pkg *analysis.Package) ([]*expectation, error) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis/analysistest"
+	"github.com/cosmos-coherence/cosmos/internal/analysis/determinism"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/det")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/detclean")
+}

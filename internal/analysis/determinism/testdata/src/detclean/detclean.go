@@ -1,0 +1,44 @@
+// Package detclean is the determinism analyzer's clean fixture: code
+// that schedules, sends, and reports without consulting any
+// nondeterministic source. The analyzer must stay silent here.
+package detclean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+type event struct {
+	at uint64
+	fn func()
+}
+
+type engine struct {
+	now   uint64
+	queue []event
+}
+
+func (e *engine) At(at uint64, fn func()) { e.queue = append(e.queue, event{at, fn}) }
+
+func seededDraws(seed int64, n int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+func report(counts map[string]uint64) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d\n", k, counts[k])
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+// Package exhaustive implements the cosmosvet analyzer that keeps
+// protocol-transition switches total.
+//
+// The Stache protocol and the predictors around it encode their state
+// machines as switches over small uint8 enums: stache.CacheState,
+// dirState, pendingKind, coherence.MsgType, trace.Side. The paper's
+// Figure 6/7 message signatures — and every fault experiment built on
+// them — are only meaningful if each of those switches handles every
+// declared state. This analyzer enforces, for every switch whose tag
+// is a module-declared uint8 enum (a named uint8 type with at least
+// two package-level constants):
+//
+//   - either every declared constant value is covered by a case, or
+//   - the switch has a default clause that fails loudly (panics,
+//     calls a Fatal-style function, or constructs an error).
+//
+// Adding a protocol state without handling it then fails `make lint`
+// instead of silently mis-transitioning at run time. Count sentinels
+// (constants whose name starts with "num"/"Num", such as
+// coherence.NumMsgTypes) are not real states and are exempt.
+//
+// Suppress a deliberately partial switch with
+// //cosmosvet:allow exhaustive <reason>.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis"
+)
+
+// Analyzer is the exhaustive-switch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over module uint8 enums to cover every declared " +
+		"constant or fail loudly in default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumInfo describes the declared constants of one enum type.
+type enumInfo struct {
+	name   string
+	values map[int64][]string // constant value -> declared names
+}
+
+// checkSwitch verifies one switch statement over an enum tag.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	enum, ok := enumFor(pass, tagType)
+	if !ok {
+		return
+	}
+
+	covered := map[int64]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				// A non-constant case defeats static coverage analysis;
+				// treat the switch as out of scope rather than guess.
+				return
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				return
+			}
+			covered[v] = true
+		}
+	}
+
+	var missing []string
+	for v, names := range enum.values {
+		if !covered[v] {
+			missing = append(missing, names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	if defaultClause == nil {
+		pass.Reportf(sw.Switch,
+			"non-exhaustive switch over %s: missing %s and no default; add the cases or a panicking default",
+			enum.name, strings.Join(missing, ", "))
+		return
+	}
+	if !failsLoudly(pass, defaultClause) {
+		pass.Reportf(sw.Switch,
+			"switch over %s has a silent default that would swallow %s; make the default panic or return an error so new states fail loudly",
+			enum.name, strings.Join(missing, ", "))
+	}
+}
+
+// enumFor reports whether t is a module-declared uint8 enum, returning
+// its declared constants grouped by value.
+func enumFor(pass *analysis.Pass, t types.Type) (enumInfo, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return enumInfo{}, false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return enumInfo{}, false
+	}
+	if pass.ModulePath == "" || !strings.HasPrefix(obj.Pkg().Path(), pass.ModulePath) {
+		return enumInfo{}, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Uint8 {
+		return enumInfo{}, false
+	}
+
+	info := enumInfo{name: typeDisplayName(pass, obj), values: map[int64][]string{}}
+	scope := obj.Pkg().Scope()
+	distinct := 0
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		// Count sentinels bound the enum; they are not states.
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		if len(info.values[v]) == 0 {
+			distinct++
+		}
+		info.values[v] = append(info.values[v], name)
+	}
+	if distinct < 2 {
+		return enumInfo{}, false
+	}
+	return info, true
+}
+
+// typeDisplayName renders the enum name as it reads at the switch
+// site: bare within its own package, qualified otherwise.
+func typeDisplayName(pass *analysis.Pass, obj *types.TypeName) string {
+	if obj.Pkg() == pass.Pkg {
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+}
+
+// failsLoudly reports whether the default clause panics or produces an
+// error: a panic call, a Fatal/Panic-style call, or a constructed
+// error (errors.New, fmt.Errorf) — typically inside a return.
+func failsLoudly(pass *analysis.Pass, cc *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					loud = true
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") {
+					loud = true
+				}
+				if fn, ok := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func); ok && fn.Pkg() != nil {
+					if (fn.Pkg().Path() == "errors" && fn.Name() == "New") ||
+						(fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf") {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis/analysistest"
+	"github.com/cosmos-coherence/cosmos/internal/analysis/exhaustive"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "testdata/src/exh")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "testdata/src/exhclean")
+}

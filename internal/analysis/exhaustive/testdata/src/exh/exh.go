@@ -1,0 +1,100 @@
+// Package exh is the exhaustive analyzer's positive fixture: partial
+// switches over a local uint8 enum in every shape the analyzer
+// distinguishes. Loaded only by analysistest.
+package exh
+
+import (
+	"errors"
+	"fmt"
+)
+
+type state uint8
+
+const (
+	idle state = iota
+	busy
+	done
+	numStates // count sentinel: not a state
+)
+
+func missingNoDefault(s state) string {
+	switch s { // want `non-exhaustive switch over state: missing done and no default`
+	case idle:
+		return "idle"
+	case busy:
+		return "busy"
+	}
+	return "?"
+}
+
+func silentDefault(s state) int {
+	switch s { // want `switch over state has a silent default that would swallow busy, done`
+	case idle:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func covered(s state) string {
+	switch s {
+	case idle:
+		return "idle"
+	case busy:
+		return "busy"
+	case done:
+		return "done"
+	}
+	return "?"
+}
+
+func panickingDefault(s state) string {
+	switch s {
+	case idle:
+		return "idle"
+	default:
+		panic(fmt.Sprintf("unhandled state %d", uint8(s)))
+	}
+}
+
+func errorDefault(s state) error {
+	switch s {
+	case idle:
+		return nil
+	default:
+		return errors.New("unhandled state")
+	}
+}
+
+func allowedPartial(s state) bool {
+	//cosmosvet:allow exhaustive fixture exercises the escape hatch
+	switch s {
+	case idle:
+		return true
+	}
+	return false
+}
+
+// narrow has a single constant, so it is not an enum and its switches
+// are out of scope.
+type narrow uint8
+
+const lone narrow = 1
+
+func narrowSwitch(n narrow) bool {
+	switch n {
+	case lone:
+		return true
+	}
+	return false
+}
+
+func nonConstantCase(s, sentinel state) bool {
+	// A non-constant case defeats static coverage; the switch is out of
+	// scope rather than guessed at.
+	switch s {
+	case sentinel:
+		return true
+	}
+	return false
+}

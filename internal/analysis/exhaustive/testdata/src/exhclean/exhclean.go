@@ -1,0 +1,37 @@
+// Package exhclean is the exhaustive analyzer's clean fixture: every
+// switch over the enum is total or fails loudly. The analyzer must
+// stay silent here.
+package exhclean
+
+import "fmt"
+
+type phase uint8
+
+const (
+	start phase = iota
+	middle
+	finish
+)
+
+func name(p phase) string {
+	switch p {
+	case start:
+		return "start"
+	case middle:
+		return "middle"
+	case finish:
+		return "finish"
+	default:
+		panic(fmt.Sprintf("unhandled phase %d", uint8(p)))
+	}
+}
+
+func terminal(p phase) bool {
+	switch p {
+	case start, middle:
+		return false
+	case finish:
+		return true
+	}
+	return false
+}

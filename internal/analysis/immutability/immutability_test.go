@@ -1,0 +1,16 @@
+package immutability_test
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis/analysistest"
+	"github.com/cosmos-coherence/cosmos/internal/analysis/immutability"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, immutability.Analyzer, "testdata/src/immut")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, immutability.Analyzer, "testdata/src/immutclean")
+}

@@ -1,0 +1,69 @@
+// Package immut is the immutability analyzer's positive fixture:
+// messages mutated after being handed to a send path, next to the
+// legitimate patterns that must stay silent. Loaded only by
+// analysistest.
+package immut
+
+type msg struct {
+	addr uint64
+	kind uint8
+}
+
+type envelope struct {
+	m msg
+}
+
+type link struct{ queue []msg }
+
+func (l *link) Send(m msg)       { l.queue = append(l.queue, m) }
+func (l *link) SendPacket(m msg) { l.queue = append(l.queue, m) }
+
+func fieldWriteAfterSend(l *link) {
+	m := msg{addr: 1}
+	l.Send(m)
+	m.addr = 2 // want `m\.addr is written after m was handed to Send`
+}
+
+func reassignAfterSend(l *link) {
+	m := msg{addr: 1}
+	l.SendPacket(m)
+	m = msg{addr: 2} // want `m is written after m was handed to SendPacket`
+	_ = m
+}
+
+func incDecAfterSend(l *link) {
+	m := msg{addr: 1}
+	l.Send(m)
+	m.kind++ // want `m\.kind is written after m was handed to Send`
+}
+
+func fieldSelectionSend(l *link, e envelope) {
+	l.Send(e.m)
+	e.m.addr = 9 // want `e\.m\.addr is written after e\.m was handed to Send`
+}
+
+func wholeWriteAfterFieldSend(l *link, e envelope) {
+	l.Send(e.m)
+	e = envelope{} // want `e is written after e\.m was handed to Send`
+	_ = e
+}
+
+func mutateBeforeSend(l *link) {
+	m := msg{}
+	m.addr = 7
+	l.Send(m)
+}
+
+func freshVariablePerMessage(l *link) {
+	first := msg{addr: 1}
+	l.Send(first)
+	second := msg{addr: 2}
+	l.Send(second)
+}
+
+func allowedReuse(l *link) {
+	m := msg{addr: 1}
+	l.Send(m)
+	//cosmosvet:allow immutability fixture exercises the escape hatch
+	m.addr = 2
+}

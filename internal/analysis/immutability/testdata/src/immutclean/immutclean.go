@@ -1,0 +1,30 @@
+// Package immutclean is the immutability analyzer's clean fixture:
+// messages are built, sent, and never touched again. The analyzer
+// must stay silent here.
+package immutclean
+
+type msg struct {
+	addr uint64
+	hops int
+}
+
+type link struct{ queue []msg }
+
+func (l *link) Send(m msg) { l.queue = append(l.queue, m) }
+
+func request(l *link, addr uint64) {
+	m := msg{addr: addr}
+	l.Send(m)
+}
+
+func forward(l *link, in msg) {
+	out := in
+	out.hops++
+	l.Send(out)
+}
+
+func burst(l *link, addrs []uint64) {
+	for _, a := range addrs {
+		l.Send(msg{addr: a})
+	}
+}

@@ -1,0 +1,112 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis"
+)
+
+// testcheck flags every function whose name starts with "target",
+// giving the allowcheck fixture something deterministic to suppress.
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags every function whose name starts with target",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "target") {
+					pass.Reportf(fd.Pos(), "function %s is a target", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func loadAllowFixture(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load([]string{"./testdata/src/allowcheck"})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestAllowSuppression checks the non-strict contract: a reasoned
+// allow on the preceding line suppresses the finding, malformed allows
+// are findings themselves, and unsuppressed findings survive.
+func TestAllowSuppression(t *testing.T) {
+	pkgs := loadAllowFixture(t)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{testcheck}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"cosmosvet:allow needs an analyzer name and a reason",
+		"cosmosvet:allow testcheck needs a reason",
+		"function target2 is a target",
+	}
+	assertDiags(t, diags, wantSubstrings)
+}
+
+// TestStrictMode checks that strict runs additionally flag stale
+// allows and allows naming unknown analyzers.
+func TestStrictMode(t *testing.T) {
+	pkgs := loadAllowFixture(t)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{testcheck}, analysis.RunOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"cosmosvet:allow needs an analyzer name and a reason",
+		"cosmosvet:allow testcheck needs a reason",
+		"function target2 is a target",
+		`unknown analyzer "othercheck"`,
+		"stale cosmosvet:allow othercheck",
+	}
+	assertDiags(t, diags, wantSubstrings)
+}
+
+// assertDiags requires diags to match wantSubstrings one-to-one, in
+// order (Run sorts by position, and the fixture orders its cases).
+func assertDiags(t *testing.T, diags []analysis.Diagnostic, wantSubstrings []string) {
+	t.Helper()
+	if len(diags) != len(wantSubstrings) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wantSubstrings))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+func TestInSimulationCore(t *testing.T) {
+	const mod = "github.com/cosmos-coherence/cosmos"
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{mod + "/internal/sim", true},
+		{mod + "/internal/stache", true},
+		{mod + "/internal/workload", true},
+		{mod + "/internal/experiments", false},
+		{mod + "/internal/coherence", false},
+		{mod + "/cmd/cosmos-tables", false},
+		{mod + "/internal/analysis/determinism/testdata/src/det", true},
+		{"example.com/other/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := analysis.InSimulationCore(mod, c.pkg); got != c.want {
+			t.Errorf("InSimulationCore(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "strings"
+
+// simCorePackages are the module packages whose behavior feeds the
+// deterministic simulation: event scheduling, protocol transitions,
+// message delivery, fault decisions, and workload generation. The
+// determinism and message-immutability analyzers apply only here —
+// offline evaluation and report rendering may use maps and clocks
+// freely as long as nothing order-dependent leaks into output (the
+// exhaustive-switch analyzer still covers the whole module).
+var simCorePackages = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/stache",
+	"internal/network",
+	"internal/reliable",
+	"internal/faults",
+	"internal/workload",
+}
+
+// InSimulationCore reports whether the package is part of the
+// deterministic simulation core. Packages under a testdata directory
+// are always in scope so analyzer fixtures exercise the checks.
+func InSimulationCore(modulePath, pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range simCorePackages {
+		if pkgPath == modulePath+"/"+p {
+			return true
+		}
+	}
+	return false
+}

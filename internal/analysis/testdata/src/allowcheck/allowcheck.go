@@ -1,0 +1,21 @@
+// Package allowcheck is the framework's own fixture for the
+// //cosmosvet:allow suppression protocol: a well-formed allow that
+// suppresses a finding, a reasonless allow, a bare allow, and an allow
+// aimed at an analyzer that is not running. Loaded only by run_test.go,
+// which pairs it with a synthetic analyzer that flags every function
+// named "target".
+package allowcheck
+
+//cosmosvet:allow
+func bareAllow() {}
+
+//cosmosvet:allow testcheck
+func reasonlessAllow() {}
+
+//cosmosvet:allow testcheck fixture proves suppression works
+func target() {}
+
+func target2() {}
+
+//cosmosvet:allow othercheck aimed at an analyzer that is not running
+func unrelated() {}

@@ -100,6 +100,10 @@ func (t MsgType) Valid() bool { return t > MsgInvalid && t < NumMsgTypes }
 // DirectoryBound reports whether a message of this type flows from a
 // cache to a directory.
 func (t MsgType) DirectoryBound() bool {
+	// A flow-direction predicate: every type not listed flows the other
+	// way, and invalid values are rejected before routing (network.Send
+	// panics on them, trace.Read refuses to decode them).
+	//cosmosvet:allow exhaustive direction predicate; unlisted types are cache-bound by definition and invalid values are rejected at the send/decode boundaries
 	switch t {
 	case GetROReq, GetRWReq, UpgradeReq, InvalROResp, InvalRWResp,
 		DowngradeResp, WritebackReq:
@@ -118,6 +122,7 @@ func (t MsgType) CacheBound() bool {
 // opposed to answering one). Note that invalidation *requests* are sent
 // by directories and invalidation *responses* by caches.
 func (t MsgType) IsRequest() bool {
+	//cosmosvet:allow exhaustive classification predicate; every type not listed is a response by definition
 	switch t {
 	case GetROReq, GetRWReq, UpgradeReq, WritebackReq,
 		InvalROReq, InvalRWReq, DowngradeReq:
@@ -141,6 +146,7 @@ func ParseMsgType(s string) (MsgType, bool) {
 // This only affects simulated message sizes / occupancy, never protocol
 // decisions.
 func (t MsgType) CarriesData() bool {
+	//cosmosvet:allow exhaustive sizing predicate; data-less types are the default and a wrong answer only skews simulated occupancy, never protocol decisions
 	switch t {
 	case GetROResp, GetRWResp, InvalRWResp, DowngradeResp, WritebackReq:
 		return true

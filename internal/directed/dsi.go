@@ -71,6 +71,7 @@ func (d *SelfInvalidation) Observe(addr coherence.Addr, actual coherence.Tuple) 
 	correct := predicted && pred == actual
 	s.hasPred = false
 
+	//cosmosvet:allow exhaustive pattern detector; message types outside the response/invalidation cycle deliberately reset prevWasResp in default
 	switch actual.Type {
 	case coherence.GetROResp, coherence.GetRWResp, coherence.UpgradeResp:
 		s.lastResp = actual.Type

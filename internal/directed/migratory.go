@@ -71,6 +71,7 @@ func (m *Migratory) Observe(addr coherence.Addr, actual coherence.Tuple) (cohere
 	s.hasPred = false
 
 	// Update detection state and derive the next implied prediction.
+	//cosmosvet:allow exhaustive pattern detector; directory-bound types outside the read-upgrade migration pattern are deliberately neutral
 	switch actual.Type {
 	case coherence.GetROReq:
 		s.reader, s.hasReader = actual.Sender, true

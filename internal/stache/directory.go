@@ -136,7 +136,7 @@ func (d *Directory) EntryState(addr coherence.Addr) string {
 		return "busy"
 	case dirExclusive:
 		return "exclusive{" + e.owner.String() + "}"
-	default:
+	case dirShared:
 		s := "shared{"
 		first := true
 		e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
@@ -147,6 +147,8 @@ func (d *Directory) EntryState(addr coherence.Addr) string {
 			first = false
 		})
 		return s + "}"
+	default:
+		panic(fmt.Sprintf("stache: EntryState in unhandled state %d", uint8(e.state)))
 	}
 }
 
@@ -250,6 +252,8 @@ func (d *Directory) Deliver(msg coherence.Msg) {
 			kind = reqUpgrade
 		case coherence.WritebackReq:
 			kind = reqWriteback
+		default:
+			panic(fmt.Sprintf("stache: unhandled request type %v", msg.Type))
 		}
 		req := pendingReq{node: msg.Src, kind: kind}
 		if e.state == dirBusy {
