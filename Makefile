@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench chaos examples clean
 
 check: lint build race
 
-ci: lint build test race
+ci: lint build test race chaos
 
 lint: vet cosmosvet
 
@@ -30,6 +30,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# A short chaos sweep with the runtime invariant monitor on: 25 seeds
+# of random fault plans and delivery perturbation over the unmodified
+# protocol must find nothing.
+chaos:
+	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick
 
 examples:
 	$(GO) run ./examples/quickstart

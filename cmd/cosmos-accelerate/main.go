@@ -50,6 +50,7 @@ func run() error {
 		depth   = flag.Int("depth", 1, "oracle MHR depth (1-4)")
 		iters   = flag.Int("iters", 40, "micro-workload iterations")
 		blocks  = flag.Int("blocks", 32, "micro-workload shared blocks")
+		inv     = flag.Bool("invariants", false, "simulate with the runtime coherence invariant monitor")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +60,7 @@ func run() error {
 	}
 	mcfg := sim.DefaultConfig()
 	mcfg.Faults = ff.Plan()
+	mcfg.Invariants = *inv
 	app, err := buildApp(*appName, *scale, mcfg, *iters, *blocks)
 	if err != nil {
 		return err

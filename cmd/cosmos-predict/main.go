@@ -45,6 +45,7 @@ func run() error {
 		maxIter = flag.Int("maxiter", 0, "evaluate only the first N application iterations (0 = all)")
 		adapt   = flag.Bool("adapt", false, "print the per-iteration accuracy series")
 		types   = flag.Bool("types", false, "print accuracy broken down by message type")
+		inv     = flag.Bool("invariants", false, "simulate with the runtime coherence invariant monitor")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +72,7 @@ func run() error {
 		}
 		cfg.Scale = sc
 		cfg.Machine.Faults = ff.Plan()
+		cfg.Machine.Invariants = *inv
 		w, err := workload.ByName(*app, cfg.Machine.Nodes, sc)
 		if err != nil {
 			return err

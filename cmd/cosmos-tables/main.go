@@ -47,12 +47,14 @@ func run() error {
 		figure = flag.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
 		extra  = flag.String("extra", "", "extra experiment: "+strings.Join(extraNames, " | "))
 		scale  = flag.String("scale", "full", "workload scale: small | medium | full")
+		inv    = flag.Bool("invariants", false, "run every simulation with the runtime coherence invariant monitor")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Machine.Faults = ff.Plan()
+	cfg.Machine.Invariants = *inv
 	sc, ok := experiments.ScaleFor(*scale)
 	if !ok {
 		return fmt.Errorf("unknown scale %q", *scale)

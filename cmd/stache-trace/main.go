@@ -40,6 +40,7 @@ func run() error {
 		dump    = flag.Bool("dump", false, "dump the trace as text to stdout")
 		summary = flag.Bool("summary", false, "print per-message-type and per-side counts")
 		halfMig = flag.Bool("halfmigratory", true, "enable the Stache half-migratory optimization")
+		inv     = flag.Bool("invariants", false, "simulate with the runtime coherence invariant monitor")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,6 +66,7 @@ func run() error {
 		cfg.Scale = sc
 		cfg.Stache.HalfMigratory = *halfMig
 		cfg.Machine.Faults = ff.Plan()
+		cfg.Machine.Invariants = *inv
 		w, err := workload.ByName(*app, cfg.Machine.Nodes, sc)
 		if err != nil {
 			return err

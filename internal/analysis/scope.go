@@ -17,6 +17,8 @@ var simCorePackages = []string{
 	"internal/reliable",
 	"internal/faults",
 	"internal/workload",
+	"internal/invariant",
+	"internal/chaos",
 }
 
 // InSimulationCore reports whether the package is part of the

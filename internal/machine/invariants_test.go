@@ -1,11 +1,14 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/invariant"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -40,68 +43,14 @@ func randomScript(r *rand.Rand, procs, iters, blocks, accessesPerIter int) (*wor
 	return &workload.Script{ScriptName: "fuzz", NumProcs: procs, Steps: steps}, addrs
 }
 
-// checkCoherence asserts, at quiescence, the fundamental invariants of
-// a write-invalidate protocol for every block:
-//
-//  1. single-writer: at most one cache holds the block read-write;
-//  2. exclusion: a read-write copy excludes all read-only copies;
-//  3. directory agreement: the home directory's sharer list matches
-//     exactly the caches that hold valid copies.
-func checkCoherence(t *testing.T, m *Machine, addrs []coherence.Addr) {
-	t.Helper()
-	checkCoherenceMode(t, m, addrs, false)
-}
-
-// checkCoherenceMode is checkCoherence with an escape hatch for
-// bounded caches: silent read-only evictions legitimately leave the
-// directory with stale sharer bits, so the directory's view is a
-// *superset* of the caches' copies rather than an exact match.
-func checkCoherenceMode(t *testing.T, m *Machine, addrs []coherence.Addr, bounded bool) {
-	t.Helper()
-	geom := m.Geometry()
-	for _, addr := range addrs {
-		addr = geom.Block(addr)
-		var writers, readers []coherence.NodeID
-		for n := 0; n < geom.Nodes(); n++ {
-			switch m.Cache(coherence.NodeID(n)).State(addr) {
-			case stache.CacheReadWrite:
-				writers = append(writers, coherence.NodeID(n))
-			case stache.CacheReadOnly:
-				readers = append(readers, coherence.NodeID(n))
-			}
-		}
-		if len(writers) > 1 {
-			t.Fatalf("block %#x: multiple writers %v", uint64(addr), writers)
-		}
-		if len(writers) == 1 && len(readers) > 0 {
-			t.Fatalf("block %#x: writer %v coexists with readers %v", uint64(addr), writers[0], readers)
-		}
-		// Directory agreement.
-		home := geom.Home(addr)
-		sharers := m.Directory(home).Sharers(addr)
-		want := map[coherence.NodeID]bool{}
-		for _, n := range append(writers, readers...) {
-			want[n] = true
-		}
-		got := map[coherence.NodeID]bool{}
-		for _, n := range sharers {
-			got[n] = true
-		}
-		if !bounded && len(want) != len(got) {
-			t.Fatalf("block %#x: directory sharers %v, cache copies %v", uint64(addr), sharers, want)
-		}
-		for n := range want {
-			if !got[n] {
-				t.Fatalf("block %#x: cache %v holds a copy the directory does not record (%v)",
-					uint64(addr), n, sharers)
-			}
-		}
-	}
-}
-
 // TestCoherenceInvariantsFuzz runs many random high-conflict workloads
-// through the machine and verifies the protocol invariants after every
-// run, under both protocol variants and with the RMW oracle attached.
+// through the machine with the runtime invariant monitor attached
+// (cfg.Invariants), under both protocol variants, with bounded caches,
+// forwarding, and the RMW oracle. The monitor checks SWMR, directory/
+// cache agreement, message conservation, and transition legality both
+// at a mid-run cadence and strictly at quiesce — strictly more than
+// the ad-hoc end-of-run checks this test used before the monitor
+// existed.
 func TestCoherenceInvariantsFuzz(t *testing.T) {
 	seeds := 30
 	if testing.Short() {
@@ -112,14 +61,13 @@ func TestCoherenceInvariantsFuzz(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			r := rand.New(rand.NewSource(int64(seed)))
 			procs := 2 + r.Intn(15) // 2..16
-			script, addrs := randomScript(r, procs, 4+r.Intn(4), 1+r.Intn(6), 5+r.Intn(20))
+			script, _ := randomScript(r, procs, 4+r.Intn(4), 1+r.Intn(6), 5+r.Intn(20))
 
 			opts := stache.DefaultOptions()
 			if seed%3 == 1 {
 				opts.HalfMigratory = false
 			}
-			bounded := seed%4 == 3
-			if bounded {
+			if seed%4 == 3 {
 				// Tiny caches force heavy replacement traffic.
 				opts.CacheBlocks = 2 + r.Intn(4)
 				opts.CacheAssoc = 1 + r.Intn(2)
@@ -129,6 +77,8 @@ func TestCoherenceInvariantsFuzz(t *testing.T) {
 			}
 			cfg := sim.DefaultConfig()
 			cfg.Nodes = procs
+			cfg.Invariants = true
+			cfg.InvariantEvery = 256 // sweep often: these runs are short
 			m, err := New(cfg, opts, script)
 			if err != nil {
 				t.Fatal(err)
@@ -148,7 +98,9 @@ func TestCoherenceInvariantsFuzz(t *testing.T) {
 			if err := m.Run(50_000_000); err != nil {
 				t.Fatal(err)
 			}
-			checkCoherenceMode(t, m, addrs, bounded)
+			if m.Monitor().Sweeps() == 0 {
+				t.Error("monitor never swept")
+			}
 		})
 	}
 }
@@ -177,34 +129,221 @@ func (o *eagerOracle) ObserveDirectory(_ coherence.NodeID, m coherence.Msg) {
 }
 func (o *eagerOracle) EndIteration(int) {}
 
-// TestCoherenceInvariantsOnBenchmarks verifies the invariants after
-// complete small-scale runs of all five paper workloads.
+// TestCoherenceInvariantsOnBenchmarks runs all five paper workloads at
+// small scale with the monitor attached: every invariant must hold at
+// every sweep and at quiesce.
 func TestCoherenceInvariantsOnBenchmarks(t *testing.T) {
 	for _, app := range workload.Registry(16, workload.ScaleSmall) {
 		app := app
 		t.Run(app.Name(), func(t *testing.T) {
-			m, err := New(smallConfig(16), stache.DefaultOptions(), app)
+			cfg := smallConfig(16)
+			cfg.Invariants = true
+			m, err := New(cfg, stache.DefaultOptions(), app)
 			if err != nil {
 				t.Fatal(err)
-			}
-			// Collect every address the app touches.
-			seen := map[coherence.Addr]bool{}
-			for it := 0; it < app.Iterations(); it++ {
-				for p := 0; p < app.Procs(); p++ {
-					for _, a := range app.Accesses(p, it) {
-						seen[m.Geometry().Block(a.Addr)] = true
-					}
-				}
 			}
 			if err := m.Run(50_000_000); err != nil {
 				t.Fatal(err)
 			}
-			var addrs []coherence.Addr
-			for a := range seen {
-				addrs = append(addrs, a)
-			}
-			checkCoherence(t, m, addrs)
 		})
+	}
+}
+
+// TestCoherenceInvariantsUnderFaults: the monitor must also hold on a
+// lossy, duplicating, jittery wire with the reliable transport layered
+// in — protocol-level conservation is exactly-once even when the wire
+// is not.
+func TestCoherenceInvariantsUnderFaults(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.Invariants = true
+	cfg.Faults.Seed = 11
+	cfg.Faults.DropProb = 0.05
+	cfg.Faults.DupProb = 0.03
+	cfg.Faults.JitterNs = 80
+	r := rand.New(rand.NewSource(99))
+	script, _ := randomScript(r, 8, 4, 4, 12)
+	m, err := New(cfg, stache.DefaultOptions(), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quiesced builds a 4-node machine, runs a small conflict workload to
+// completion under the monitor (which must pass), and returns the
+// machine plus the first pool block — a known-coherent fixture the
+// violation tests then corrupt.
+func quiesced(t *testing.T) (*Machine, coherence.Addr) {
+	t.Helper()
+	geom := coherence.MustGeometry(64, 4096, 4)
+	region := workload.NewArena(geom).Alloc(2)
+	addr := region.Block(0)
+	other := region.Block(1)
+	script := &workload.Script{
+		ScriptName: "corrupt-fixture",
+		NumProcs:   4,
+		Steps: [][][]workload.Access{{
+			nil,
+			{workload.Read(addr), workload.Write(other)},
+			{workload.Write(other)},
+			{workload.Write(other)},
+		}},
+	}
+	cfg := smallConfig(4)
+	cfg.Invariants = true
+	m, err := New(cfg, stache.DefaultOptions(), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("clean fixture run failed: %v", err)
+	}
+	return m, addr
+}
+
+// TestMonitorViolations corrupts a quiesced machine one invariant at a
+// time and asserts the monitor fires the right rule with the right
+// diagnostic. After the clean run, block addr is shared{P1} at its
+// home directory (P0), so each corruption lands on known state.
+func TestMonitorViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		rule    string
+		detail  string // must appear in the diagnostic
+		corrupt func(m *Machine, addr coherence.Addr)
+	}{
+		{
+			name:   "dir-owner-disagrees",
+			rule:   invariant.RuleAgreement,
+			detail: "the directory does not record",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Directory(m.Geometry().Home(addr)).CorruptOwner(addr, 3)
+			},
+		},
+		{
+			name:   "dir-phantom-sharer",
+			rule:   invariant.RuleAgreement,
+			detail: "directory records sharer P2 but P2 holds no copy",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Directory(m.Geometry().Home(addr)).CorruptAddSharer(addr, 2)
+			},
+		},
+		{
+			name:   "unrecorded-cache-copy",
+			rule:   invariant.RuleAgreement,
+			detail: "copy the directory does not record",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Cache(2).CorruptState(addr, stache.CacheReadOnly)
+			},
+		},
+		{
+			name:   "two-writers",
+			rule:   invariant.RuleSWMR,
+			detail: "multiple writable copies held by [P2 P3]",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Cache(2).CorruptState(addr, stache.CacheReadWrite)
+				m.Cache(3).CorruptState(addr, stache.CacheReadWrite)
+			},
+		},
+		{
+			name:   "writer-beside-reader",
+			rule:   invariant.RuleSWMR,
+			detail: "coexists with readers",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Cache(2).CorruptState(addr, stache.CacheReadWrite)
+			},
+		},
+		{
+			name:   "malformed-exclusive-entry",
+			rule:   invariant.RuleLegality,
+			detail: "retains sharer bits",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				d := m.Directory(m.Geometry().Home(addr))
+				d.CorruptOwner(addr, 1)
+				d.CorruptAddSharer(addr, 2)
+			},
+		},
+		{
+			name:   "unsent-delivery",
+			rule:   invariant.RuleConservation,
+			detail: "delivered without a matching send",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				m.Monitor().ObserveCache(2, coherence.Msg{
+					Src: m.Geometry().Home(addr), Dst: 2,
+					Type: coherence.InvalROReq, Addr: addr,
+				})
+			},
+		},
+		{
+			name:   "illegal-transition",
+			rule:   invariant.RuleTransition,
+			detail: "no read fetch outstanding",
+			corrupt: func(m *Machine, addr coherence.Addr) {
+				msg := coherence.Msg{
+					Src: m.Geometry().Home(addr), Dst: 2,
+					Type: coherence.GetROResp, Addr: addr,
+				}
+				m.Monitor().ObserveSend(msg) // keep conservation balanced
+				m.Monitor().ObserveCache(2, msg)
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, addr := quiesced(t)
+			tc.corrupt(m, addr)
+			err := m.Monitor().Check(m)
+			if err == nil {
+				t.Fatal("corruption went undetected")
+			}
+			var v *invariant.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("error is not a *invariant.Violation: %v", err)
+			}
+			if v.Rule != tc.rule {
+				t.Errorf("rule = %q, want %q\n%v", v.Rule, tc.rule, err)
+			}
+			if !strings.Contains(err.Error(), tc.detail) {
+				t.Errorf("diagnostic missing %q:\n%v", tc.detail, err)
+			}
+			if len(v.Nodes) != 4 {
+				t.Errorf("diagnostic has %d node views, want 4", len(v.Nodes))
+			}
+		})
+	}
+}
+
+// TestMonitorRunSurfacesViolation: corruption planted mid-run surfaces
+// through Machine.Run as a wrapped *invariant.Violation with the full
+// diagnostic attached.
+func TestMonitorRunSurfacesViolation(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.Invariants = true
+	cfg.InvariantEvery = 32
+	app := workload.Registry(8, workload.ScaleSmall)[0]
+	m, err := New(cfg, stache.DefaultOptions(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Engine().After(5000, func() {
+		for _, e := range m.Directory(1).Entries() {
+			m.Directory(1).CorruptOwner(e.Addr, 3)
+			return
+		}
+	})
+	err = m.Run(50_000_000)
+	if err == nil {
+		t.Fatal("corruption went undetected")
+	}
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("Run error does not wrap a Violation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "diagnostic at t=") {
+		t.Errorf("Run error missing the machine diagnostic:\n%v", err)
 	}
 }
 

@@ -12,9 +12,11 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/invariant"
 	"github.com/cosmos-coherence/cosmos/internal/network"
 	"github.com/cosmos-coherence/cosmos/internal/reliable"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
@@ -45,6 +47,7 @@ type proc struct {
 // Machine is the full simulated system.
 type Machine struct {
 	cfg       sim.Config
+	opts      stache.Options
 	geom      coherence.Geometry
 	engine    *sim.Engine
 	net       *network.Network
@@ -53,11 +56,17 @@ type Machine struct {
 	dirs      []*stache.Directory
 	app       workload.App
 	observers []Observer
+	monitor   *invariant.Monitor // nil unless attached
 
 	procs    []proc
 	iter     int
 	arrived  int
 	accesses uint64
+
+	// waitingSince records, per processor, the issue time of its
+	// outstanding access (sim.MaxTime when none is outstanding); the
+	// watchdog diagnostic uses it to name the oldest unpaired request.
+	waitingSince []sim.Time
 
 	// progress counts access completions and barrier crossings; the
 	// watchdog declares a stall when it stops advancing.
@@ -115,6 +124,7 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 
 	m := &Machine{
 		cfg:            cfg,
+		opts:           opts,
 		geom:           geom,
 		engine:         engine,
 		net:            net,
@@ -122,8 +132,12 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		dirs:           make([]*stache.Directory, cfg.Nodes),
 		app:            app,
 		procs:          make([]proc, cfg.Nodes),
+		waitingSince:   make([]sim.Time, cfg.Nodes),
 		barrierLatency: sim.Time(cfg.Nodes) * cfg.MessageLatencyNs() / 4,
 		thinkTime:      1,
+	}
+	for i := range m.waitingSince {
+		m.waitingSince[i] = sim.MaxTime
 	}
 
 	// On a faulty wire, layer the reliable transport between the
@@ -142,6 +156,10 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		sender = m.transport
 		bind = m.transport.Bind
 	}
+	// Every protocol-level send flows through the tap so an attached
+	// invariant monitor sees it; with no monitor the tap is a single nil
+	// check per message.
+	sender = tapSender{m: m, inner: sender}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		node := coherence.NodeID(i)
@@ -168,8 +186,40 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 			}
 		})
 	}
+	if cfg.Invariants {
+		m.AttachMonitor(invariant.New(invariant.Config{Every: cfg.InvariantEvery}))
+	}
 	return m, nil
 }
+
+// tapSender mirrors every protocol-level send into the invariant
+// monitor before handing it to the real sender (network or reliable
+// transport).
+type tapSender struct {
+	m     *Machine
+	inner stache.Sender
+}
+
+// Send implements stache.Sender.
+func (t tapSender) Send(msg coherence.Msg) {
+	if t.m.monitor != nil {
+		t.m.monitor.ObserveSend(msg)
+	}
+	t.inner.Send(msg)
+}
+
+// AttachMonitor installs the runtime invariant monitor: it is bound to
+// the machine's clock, geometry, and protocol options, registered as a
+// delivery observer, and ticked by Run after every event. Must be
+// called before Run; cfg.Invariants does it automatically.
+func (m *Machine) AttachMonitor(mon *invariant.Monitor) {
+	mon.Bind(m.engine.Now, m.geom, m.opts)
+	m.monitor = mon
+	m.AddObserver(mon)
+}
+
+// Monitor returns the attached invariant monitor, or nil.
+func (m *Machine) Monitor() *invariant.Monitor { return m.monitor }
 
 // AddObserver attaches an observer. Must be called before Run.
 func (m *Machine) AddObserver(o Observer) { m.observers = append(m.observers, o) }
@@ -200,6 +250,51 @@ func (m *Machine) Iteration() int { return m.iter }
 // directly.
 func (m *Machine) Transport() *reliable.Transport { return m.transport }
 
+// The following accessors implement invariant.View, the read-only
+// window the invariant monitor checks the machine through.
+
+// ProtocolOptions returns the protocol variant the machine runs.
+func (m *Machine) ProtocolOptions() stache.Options { return m.opts }
+
+// CacheState returns node n's stable state for block addr.
+func (m *Machine) CacheState(n coherence.NodeID, addr coherence.Addr) stache.CacheState {
+	return m.caches[n].State(addr)
+}
+
+// CachePending reports node n's outstanding transaction on addr.
+func (m *Machine) CachePending(n coherence.NodeID, addr coherence.Addr) (string, bool) {
+	return m.caches[n].Pending(addr)
+}
+
+// HomeEntry returns the home directory's entry for addr.
+func (m *Machine) HomeEntry(addr coherence.Addr) (stache.EntryInfo, bool) {
+	return m.dirs[m.geom.Home(addr)].Entry(addr)
+}
+
+// DirectoryBlocks returns every block any directory tracks, sorted.
+func (m *Machine) DirectoryBlocks() []coherence.Addr {
+	var out []coherence.Addr
+	for _, d := range m.dirs {
+		for _, e := range d.Entries() {
+			out = append(out, e.Addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NetworkInFlight returns coherence messages currently on the wire.
+func (m *Machine) NetworkInFlight() int { return m.net.InFlight() }
+
+// TransportUndelivered returns frames the reliable transport still owes
+// the protocol, or -1 on the fault-free path (no transport layered).
+func (m *Machine) TransportUndelivered() int {
+	if m.transport == nil {
+		return -1
+	}
+	return m.transport.Undelivered()
+}
+
 // Run simulates the workload to completion. maxEvents bounds the event
 // count (0 = unlimited) as a backstop against same-timestamp event
 // loops. Stalls — no access completing within cfg.WatchdogNs of
@@ -226,6 +321,7 @@ func (m *Machine) Run(maxEvents uint64) error {
 			m.fail(fmt.Errorf("machine: watchdog: no access completed between t=%v and t=%v (span %v)\n%s",
 				m.lastProgress, m.engine.Now(), m.cfg.WatchdogNs, m.diagnose()))
 		}
+		m.tickMonitor()
 	}
 	if m.failure != nil {
 		return m.failure
@@ -234,7 +330,39 @@ func (m *Machine) Run(maxEvents uint64) error {
 		return fmt.Errorf("machine: deadlock: simulation drained at iteration %d of %d (t=%v)\n%s",
 			m.iter, m.app.Iterations(), m.engine.Now(), m.diagnose())
 	}
+	if m.monitor != nil {
+		// Drain stragglers (writeback acks, transport ack frames, armed
+		// retransmit timers) so the quiesce check sees a settled system.
+		// Only monitored runs drain: the extra events would not change any
+		// results, but keeping the default path's event count bit-identical
+		// to the seed is part of this simulator's contract.
+		for m.failure == nil && m.engine.Step() {
+			fired++
+			if maxEvents != 0 && fired >= maxEvents {
+				return fmt.Errorf("machine: event budget %d exhausted draining for quiesce at t=%v with %d events pending\n%s",
+					maxEvents, m.engine.Now(), m.engine.Pending(), m.diagnose())
+			}
+			m.tickMonitor()
+		}
+		if m.failure != nil {
+			return m.failure
+		}
+		if err := m.monitor.CheckQuiesce(m); err != nil {
+			return fmt.Errorf("machine: %w\n%s", err, m.diagnose())
+		}
+	}
 	return nil
+}
+
+// tickMonitor drives the invariant monitor after one fired event,
+// converting a violation into a hard failure.
+func (m *Machine) tickMonitor() {
+	if m.monitor == nil || m.failure != nil {
+		return
+	}
+	if err := m.monitor.Tick(m); err != nil {
+		m.fail(fmt.Errorf("machine: %w\n%s", err, m.diagnose()))
+	}
 }
 
 // fail records the first hard error; the run loop exits on it.
@@ -261,6 +389,45 @@ func (m *Machine) diagnose() string {
 		m.engine.Now(), m.iter, m.app.Iterations(), m.progress)
 
 	fmt.Fprintf(&b, "  barrier: %d of %d processors arrived\n", m.arrived, len(m.procs))
+
+	// Per-node outstanding coherence transactions, and the single oldest
+	// request still waiting for its reply — usually the one the rest of
+	// the machine is serialized behind.
+	var counts []string
+	oldest := -1
+	for i, c := range m.caches {
+		if n := len(c.PendingLines()); n > 0 {
+			counts = append(counts, fmt.Sprintf("%v=%d", coherence.NodeID(i), n))
+		}
+		if m.waitingSince[i] != sim.MaxTime && (oldest < 0 || m.waitingSince[i] < m.waitingSince[oldest]) {
+			oldest = i
+		}
+	}
+	if len(counts) > 0 {
+		fmt.Fprintf(&b, "  outstanding transactions per node: %s\n", strings.Join(counts, " "))
+	}
+	if oldest >= 0 {
+		p := &m.procs[oldest]
+		if p.next > 0 && p.next <= len(p.seq) {
+			a := p.seq[p.next-1]
+			op := "load"
+			if a.Write {
+				op = "store"
+			}
+			fmt.Fprintf(&b, "  oldest unpaired request: %v %s %#x (home %v), issued t=%v, waiting %v\n",
+				p.id, op, uint64(a.Addr), m.geom.Home(a.Addr),
+				m.waitingSince[oldest], m.engine.Now()-m.waitingSince[oldest])
+		}
+	}
+	if n := m.net.InFlight(); n > 0 {
+		fmt.Fprintf(&b, "  network: %d coherence message(s) in flight\n", n)
+	}
+	if m.transport != nil {
+		if n := m.transport.Undelivered(); n > 0 {
+			fmt.Fprintf(&b, "  transport: %d frame(s) accepted but not yet released to the protocol\n", n)
+		}
+	}
+
 	for i := range m.procs {
 		p := &m.procs[i]
 		if p.next == 0 || p.next > len(p.seq) {
@@ -336,7 +503,9 @@ func (m *Machine) step(p *proc) {
 	a := p.seq[p.next]
 	p.next++
 	m.accesses++
+	m.waitingSince[p.id] = m.engine.Now()
 	m.caches[p.id].Access(a.Addr, a.Write, func() {
+		m.waitingSince[p.id] = sim.MaxTime
 		m.noteProgress()
 		m.engine.After(m.thinkTime, func() { m.step(p) })
 	})

@@ -111,6 +111,12 @@ type Network struct {
 	nodes        int
 	seq          uint64
 	stats        Stats
+	// inflight counts coherence messages scheduled for delivery but not
+	// yet handed to their destination handler (dropped packets are never
+	// counted; duplicated ones count twice until both copies land). The
+	// invariant monitor's quiesce check and the watchdog diagnostic read
+	// it through InFlight.
+	inflight int
 }
 
 // New creates a network over n nodes using the cfg latencies and the
@@ -166,6 +172,19 @@ func (nw *Network) BindPacket(id coherence.NodeID, h PacketHandler) {
 
 // Stats returns a copy of the accumulated counters.
 func (nw *Network) Stats() Stats { return nw.stats }
+
+// InFlight returns the number of coherence messages currently on the
+// wire: scheduled for delivery but not yet handed to a destination
+// handler. Transport control frames are excluded.
+func (nw *Network) InFlight() int { return nw.inflight }
+
+// deliver hands pkt to h, retiring its in-flight accounting first.
+func (nw *Network) deliver(h PacketHandler, pkt Packet) {
+	if !pkt.Ctrl {
+		nw.inflight--
+	}
+	h(pkt)
+}
 
 // Send injects msg into the network. Delivery to msg.Dst is scheduled
 // after the configured latency, respecting per-link FIFO order on a
@@ -223,7 +242,10 @@ func (nw *Network) SendPacket(pkt Packet) {
 			deliverAt = nw.lastDelivery[link]
 		}
 		nw.lastDelivery[link] = deliverAt
-		nw.engine.At(deliverAt, func() { h(pkt) })
+		if !pkt.Ctrl {
+			nw.inflight++
+		}
+		nw.engine.At(deliverAt, func() { nw.deliver(h, pkt) })
 		return
 	}
 
@@ -235,9 +257,15 @@ func (nw *Network) SendPacket(pkt Packet) {
 		nw.stats.FaultDropped++
 		return
 	}
-	nw.engine.At(nw.engine.Now()+lat+sim.Time(d.JitterNs), func() { h(pkt) })
+	if !pkt.Ctrl {
+		nw.inflight++
+	}
+	nw.engine.At(nw.engine.Now()+lat+sim.Time(d.JitterNs), func() { nw.deliver(h, pkt) })
 	if d.Duplicate {
 		nw.stats.FaultDuplicated++
-		nw.engine.At(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), func() { h(pkt) })
+		if !pkt.Ctrl {
+			nw.inflight++
+		}
+		nw.engine.At(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), func() { nw.deliver(h, pkt) })
 	}
 }

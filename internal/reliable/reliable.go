@@ -167,6 +167,32 @@ func (t *Transport) linkFor(src, dst coherence.NodeID) *link {
 	return l
 }
 
+// Undelivered returns how many frames the transport has accepted but
+// not yet released to the protocol: unacknowledged frames whose
+// sequence number the receiver has not released, plus frames parked in
+// reorder buffers behind a gap. A frame that was delivered but whose
+// acknowledgment is still in flight does not count — the protocol has
+// it. The invariant monitor's quiesce check and the watchdog
+// diagnostic read this to tell "messages still owed to the protocol"
+// apart from "acks still draining".
+func (t *Transport) Undelivered() int {
+	n := 0
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		// Frames held in the reorder buffer are still unacknowledged too
+		// (cumulative acks cover only released frames), so counting
+		// unacked frames beyond the release point covers both kinds.
+		for ts := range l.unacked {
+			if ts > l.delivered {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Inflight returns every unacknowledged frame, ordered by (src, dst,
 // tseq) for deterministic diagnostics.
 func (t *Transport) Inflight() []Inflight {

@@ -59,6 +59,21 @@ type Config struct {
 	// the transport declares the link dead and fails the run. 0 means
 	// the default of 12.
 	RetxMaxRetries int
+
+	// Invariants enables the runtime coherence invariant monitor
+	// (internal/invariant): the machine checks SWMR, directory/cache
+	// agreement, message conservation, and protocol-variant legality at
+	// a fixed event cadence and again at quiesce, failing the run with a
+	// structured diagnostic on the first violation. With the monitor
+	// attached the machine also drains in-flight stragglers after the
+	// final barrier so the quiesce check sees a settled system; a
+	// monitored run therefore fires a few more events than an
+	// unmonitored one, but remains deterministic for a given seed.
+	Invariants bool
+	// InvariantEvery is the monitor's mid-run cadence in fired events
+	// between full state sweeps (0 = the default of 4096). Message-level
+	// checks run on every message regardless.
+	InvariantEvery uint64
 }
 
 // DefaultConfig returns the Table 3 machine: 16 nodes, 1 GHz

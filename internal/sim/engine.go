@@ -51,15 +51,34 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// Perturb is a bounded scheduling perturbation: given the nominal
+// firing time and the scheduling sequence number of an event, it
+// returns an extra non-negative delay to add before queueing. The
+// chaos fuzzer (internal/chaos) uses it to explore alternative
+// delivery interleavings; it MUST be a pure function of its arguments
+// (plus a fixed seed) so perturbed runs stay replayable.
+//
+// Delaying deliveries can reorder the raw wire, so perturbed machines
+// must run with the reliable transport layered in (an enabled fault
+// plan), which restores the per-link FIFO order the protocol assumes.
+type Perturb func(at Time, seq uint64) Time
+
 // Engine is a single-threaded discrete-event simulator. The zero value
 // is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	halted  bool
+	perturb Perturb
 }
+
+// SetPerturb installs (or, with nil, removes) a scheduling
+// perturbation applied to every subsequently scheduled event. Install
+// it before the first event is scheduled; swapping mid-run would make
+// the run depend on when the swap happened.
+func (e *Engine) SetPerturb(p Perturb) { e.perturb = p }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -88,6 +107,9 @@ func (e *Engine) At(at Time, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
+	if e.perturb != nil {
+		at += e.perturb(at, e.seq)
+	}
 	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
 }
 

@@ -200,6 +200,26 @@ func (c *Cache) PendingLines() []PendingLine {
 	return out
 }
 
+// Pending reports whether block addr has an outstanding cache-side
+// transaction, and of what kind ("fetch-ro", "fetch-rw", "upgrade",
+// "writeback"). Blocks homed locally never have cache-side
+// transactions.
+func (c *Cache) Pending(addr coherence.Addr) (kind string, ok bool) {
+	l, found := c.lines[c.geom.Block(addr)]
+	if !found || l.pending == pendNone {
+		return "", false
+	}
+	return l.pending.String(), true
+}
+
+// CorruptState forcibly sets the stable state of block addr, bypassing
+// the protocol. It exists solely so invariant-monitor tests and the
+// cosmos-chaos self-check mode can plant illegal cache states and
+// verify they are detected; it is never called on healthy runs.
+func (c *Cache) CorruptState(addr coherence.Addr, s CacheState) {
+	c.line(c.geom.Block(addr)).state = s
+}
+
 // Stats returns (loads, stores, load misses, store misses, upgrade
 // misses, invalidations received).
 func (c *Cache) Stats() (loads, stores, loadMiss, storeMiss, upgradeMiss, invals uint64) {

@@ -152,6 +152,142 @@ func (d *Directory) EntryState(addr coherence.Addr) string {
 	}
 }
 
+// EntryState is the exported view of a directory entry's stable state,
+// for the invariant monitor and other out-of-package inspectors.
+type EntryState uint8
+
+const (
+	// EntryIdle means no cached copies exist.
+	EntryIdle EntryState = iota
+	// EntryShared means one or more read-only copies exist.
+	EntryShared
+	// EntryExclusive means exactly one read-write copy exists.
+	EntryExclusive
+	// EntryBusy means a transaction is collecting acknowledgments.
+	EntryBusy
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case EntryIdle:
+		return "idle"
+	case EntryShared:
+		return "shared"
+	case EntryExclusive:
+		return "exclusive"
+	case EntryBusy:
+		return "busy"
+	}
+	return fmt.Sprintf("EntryState(%d)", uint8(s))
+}
+
+// EntryInfo is a read-only snapshot of one directory entry: the raw
+// full-map sharer bits (not the owner-as-sole-sharer rendering of
+// Sharers), the exclusive owner, and the busy-transaction bookkeeping.
+type EntryInfo struct {
+	Addr    coherence.Addr
+	State   EntryState
+	Sharers []coherence.NodeID // raw sharer bits, ascending node order
+	Owner   coherence.NodeID
+	// Requestor is the node whose transaction a busy entry serves.
+	Requestor coherence.NodeID
+	AcksLeft  int
+	Queued    int
+}
+
+// String renders the snapshot for diagnostics, e.g.
+// "exclusive owner=P2" or "busy for P1 (2 acks left, 1 queued)".
+func (e EntryInfo) String() string {
+	switch e.State {
+	case EntryIdle:
+		return "idle"
+	case EntryShared:
+		s := "shared{"
+		for i, n := range e.Sharers {
+			if i > 0 {
+				s += ","
+			}
+			s += n.String()
+		}
+		return s + "}"
+	case EntryExclusive:
+		return "exclusive owner=" + e.Owner.String()
+	case EntryBusy:
+		return fmt.Sprintf("busy for %v (%d acks left, %d queued)", e.Requestor, e.AcksLeft, e.Queued)
+	}
+	return fmt.Sprintf("EntryInfo(state=%d)", uint8(e.State))
+}
+
+// snapshot converts the internal entry to its exported form.
+func (d *Directory) snapshot(addr coherence.Addr, e *dirEntry) EntryInfo {
+	info := EntryInfo{
+		Addr:      addr,
+		Owner:     e.owner,
+		Requestor: coherence.NoNode,
+		AcksLeft:  e.acksLeft,
+		Queued:    len(e.queue),
+	}
+	switch e.state {
+	case dirIdle:
+		info.State = EntryIdle
+	case dirShared:
+		info.State = EntryShared
+	case dirExclusive:
+		info.State = EntryExclusive
+	case dirBusy:
+		info.State = EntryBusy
+		info.Requestor = e.current.node
+	}
+	e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+		info.Sharers = append(info.Sharers, n)
+	})
+	return info
+}
+
+// Entry returns a snapshot of addr's directory entry. ok is false when
+// the directory has never tracked the block.
+func (d *Directory) Entry(addr coherence.Addr) (EntryInfo, bool) {
+	addr = d.geom.Block(addr)
+	e, ok := d.entries[addr]
+	if !ok {
+		return EntryInfo{}, false
+	}
+	return d.snapshot(addr, e), true
+}
+
+// Entries returns a snapshot of every tracked entry, ordered by address
+// (deterministic for the invariant monitor and diagnostics).
+func (d *Directory) Entries() []EntryInfo {
+	out := make([]EntryInfo, 0, len(d.entries))
+	for addr, e := range d.entries {
+		out = append(out, d.snapshot(addr, e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// CorruptOwner forcibly records n as addr's exclusive owner, bypassing
+// the protocol. It exists solely so invariant-monitor tests and the
+// cosmos-chaos self-check mode can plant directory/cache disagreements
+// and verify they are detected; it is never called on healthy runs.
+func (d *Directory) CorruptOwner(addr coherence.Addr, n coherence.NodeID) {
+	e := d.entry(d.geom.Block(addr))
+	e.state = dirExclusive
+	e.owner = n
+	e.sharers = 0
+}
+
+// CorruptAddSharer forcibly adds a phantom sharer bit for n to addr's
+// entry. Like CorruptOwner it exists only to seed detectable
+// violations in tests and chaos self-checks.
+func (d *Directory) CorruptAddSharer(addr coherence.Addr, n coherence.NodeID) {
+	e := d.entry(d.geom.Block(addr))
+	if e.state == dirIdle {
+		e.state = dirShared
+	}
+	e.sharers.add(n)
+}
+
 // BusyEntry describes one directory entry stuck mid-transaction, for
 // stall diagnostics.
 type BusyEntry struct {
@@ -375,6 +511,11 @@ func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq,
 		}
 		if e.owner == d.node {
 			d.demoteLocalOwner(e)
+			// The exclusive grant invalidates the home's copy too: the
+			// DASH-variant read-only home copy demoteLocalOwner records
+			// must not survive into the exclusive entry, or the stale
+			// sharer bit leaks through later writeback/idle transitions.
+			e.sharers = 0
 			e.state = dirExclusive
 			e.owner = req.node
 			d.grant(addr, req, grantT)
