@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench chaos examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke chaos examples clean
 
 check: lint build race
 
@@ -30,6 +30,18 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Capture the full benchmark suite as a labelled JSON snapshot next to
+# the code: `make bench-json BENCH_LABEL=optimized` appends to BENCH_<date>.json.
+BENCH_DATE  ?= $(shell date +%Y%m%d)
+BENCH_LABEL ?= snapshot
+bench-json:
+	$(GO) run ./cmd/cosmos-bench -label $(BENCH_LABEL) -o BENCH_$(BENCH_DATE).json
+
+# A cheap CI guard: the benchmark harness itself must stay runnable.
+# Small scale, one iteration each — measures nothing, catches rot.
+bench-smoke:
+	COSMOS_BENCH_SCALE=small $(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # A short chaos sweep with the runtime invariant monitor on: 25 seeds
 # of random fault plans and delivery perturbation over the unmodified

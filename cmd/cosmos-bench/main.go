@@ -1,0 +1,189 @@
+// Command cosmos-bench captures the repo's benchmark suite as a
+// labelled JSON snapshot, so performance changes land in version
+// control next to the code that caused them.
+//
+// Usage:
+//
+//	cosmos-bench -label optimized -o BENCH_20060102.json           # run + append
+//	cosmos-bench -label baseline -parse old.txt -o BENCH_....json  # parse a saved run
+//	cosmos-bench -bench 'Predictor|Engine' -benchtime 200ms ...    # subset, longer time
+//
+// Each invocation appends one snapshot to the output file (created if
+// absent), preserving earlier snapshots — a before/after pair in one
+// file is the expected shape. The parser understands standard
+// `go test -bench` output: ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric columns (events/sec, accuracy percentages, ...).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every custom b.ReportMetric column by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labelled benchmark run.
+type Snapshot struct {
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	Goos  string `json:"goos,omitempty"`
+	CPU   string `json:"cpu,omitempty"`
+	// Note carries free-text caveats (e.g. the machine's core count).
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk shape: an append-only list of snapshots.
+type File struct {
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		label     = flag.String("label", "", "snapshot label (e.g. baseline, optimized); required")
+		out       = flag.String("o", "", "JSON file to append the snapshot to; required")
+		parse     = flag.String("parse", "", "parse a saved `go test -bench` output file instead of running")
+		benchRe   = flag.String("bench", ".", "benchmark selector regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark time or iteration budget")
+		date      = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date stamp")
+		note      = flag.String("note", "", "free-text caveat recorded in the snapshot")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+	)
+	flag.Parse()
+	if *label == "" || *out == "" {
+		return fmt.Errorf("-label and -o are required")
+	}
+
+	var raw []byte
+	var err error
+	if *parse != "" {
+		raw, err = os.ReadFile(*parse)
+		if err != nil {
+			return err
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
+		cmd.Stderr = os.Stderr
+		raw, err = cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w\n%s", err, raw)
+		}
+		os.Stdout.Write(raw)
+	}
+
+	snap, err := parseOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	snap.Label = *label
+	snap.Date = *date
+	snap.Note = *note
+
+	var file File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("%s: %w", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Snapshots = append(file.Snapshots, snap)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cosmos-bench: appended %q (%d benchmarks) to %s\n",
+		*label, len(snap.Benchmarks), *out)
+	return nil
+}
+
+// parseOutput extracts the header and every result line from standard
+// `go test -bench` output.
+func parseOutput(out string) (Snapshot, error) {
+	var snap Snapshot
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		return snap, fmt.Errorf("no benchmark result lines found")
+	}
+	return snap, nil
+}
+
+// parseLine parses one result line: a name, an iteration count, then
+// value/unit pairs (ns/op, B/op, allocs/op, and custom metrics).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimSuffix(fields[0], "-"), Iterations: iters}
+	// Strip the trailing GOMAXPROCS suffix (BenchmarkFoo-8) so names
+	// compare across machines.
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}

@@ -9,8 +9,13 @@
 //	cosmos-chaos                          # sweep 25 seeds, default hostility
 //	cosmos-chaos -seeds 100               # the EXPERIMENTS.md clean sweep
 //	cosmos-chaos -seeds 25 -quick         # the CI configuration
+//	cosmos-chaos -workers 8               # parallel seed sweep (default: all CPUs)
 //	cosmos-chaos -corrupt dir-owner       # self-check: injected damage must be caught
 //	cosmos-chaos -replay bundle.json      # re-execute a repro bundle
+//
+// Seeds are independent (RunSeed is pure in config and seed), so the
+// sweep fans out over a worker pool; results are reassembled and
+// reported in seed order, byte-identical for any -workers value.
 //
 // Exit status: 0 when every seed is clean (or a replay matches), 1 on
 // violations, panics, or replay divergence, 2 on usage errors.
@@ -23,6 +28,8 @@ import (
 	"path/filepath"
 
 	"github.com/cosmos-coherence/cosmos/internal/chaos"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
+	"github.com/cosmos-coherence/cosmos/internal/prof"
 )
 
 func main() {
@@ -60,8 +67,22 @@ func run() error {
 		outDir   = flag.String("o", ".", "directory for repro bundles")
 		replay   = flag.String("replay", "", "replay a repro bundle instead of sweeping")
 		verbose  = flag.Bool("v", false, "print every seed, not just failures")
+		workers  = flag.Int("workers", parallel.DefaultWorkers(), "worker pool size for the seed sweep (1 = serial)")
 	)
+	pf := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be positive")
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cosmos-chaos:", err)
+		}
+	}()
 
 	if *replay != "" {
 		return replayBundle(*replay)
@@ -90,10 +111,13 @@ func run() error {
 		return fmt.Errorf("-seeds must be positive")
 	}
 
+	// The sweep runs over the worker pool; reporting walks the results
+	// in seed order afterwards, so the output matches a serial sweep.
+	results := chaos.Sweep(cfg, *seed, *seeds, *workers)
+
 	var ok, stalls int
 	var failures []chaos.Result
-	for i := 0; i < *seeds; i++ {
-		res := chaos.RunSeed(cfg, *seed+int64(i))
+	for _, res := range results {
 		switch {
 		case res.Failed():
 			failures = append(failures, res)

@@ -11,12 +11,19 @@
 //	cosmos-tables -figure 6            # one figure (5,6,7,8)
 //	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep
 //	cosmos-tables -scale medium        # small | medium | full
+//	cosmos-tables -workers 8           # worker pool size (default: all CPUs; 1 = serial)
 //	cosmos-tables -fault-drop 0.01     # simulate on a lossy wire (with -fault-dup, -fault-jitter, -fault-seed)
+//	cosmos-tables -cpuprofile cpu.out  # write pprof profiles (with -memprofile)
+//
+// The worker pool shards independent experiment cells (app × config
+// sweep points) across goroutines and reassembles results in a fixed
+// order, so output is byte-identical for every -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"slices"
 	"strings"
@@ -24,6 +31,8 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
 	"github.com/cosmos-coherence/cosmos/internal/faults"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
+	"github.com/cosmos-coherence/cosmos/internal/prof"
 	"github.com/cosmos-coherence/cosmos/internal/report"
 )
 
@@ -35,26 +44,47 @@ var extraNames = []string{
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cosmos-tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run drives the whole command against an explicit writer and argument
+// list, so tests can assert the rendered output byte for byte (the
+// worker-pool invariance test depends on that).
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cosmos-tables", flag.ContinueOnError)
 	var (
-		table  = flag.Int("table", 0, "render one table (3, 4, 5, 6, 7, or 8); 0 = all")
-		figure = flag.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
-		extra  = flag.String("extra", "", "extra experiment: "+strings.Join(extraNames, " | "))
-		scale  = flag.String("scale", "full", "workload scale: small | medium | full")
-		inv    = flag.Bool("invariants", false, "run every simulation with the runtime coherence invariant monitor")
+		table   = fs.Int("table", 0, "render one table (3, 4, 5, 6, 7, or 8); 0 = all")
+		figure  = fs.Int("figure", 0, "render one figure (5, 6, 7, or 8); 0 = all")
+		extra   = fs.String("extra", "", "extra experiment: "+strings.Join(extraNames, " | "))
+		scale   = fs.String("scale", "full", "workload scale: small | medium | full")
+		inv     = fs.Bool("invariants", false, "run every simulation with the runtime coherence invariant monitor")
+		workers = fs.Int("workers", parallel.DefaultWorkers(), "worker pool size for independent experiment cells (1 = serial)")
 	)
-	ff := faults.AddFlags(flag.CommandLine)
-	flag.Parse()
+	ff := faults.AddFlags(fs)
+	pf := prof.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be positive")
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cosmos-tables:", err)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Machine.Faults = ff.Plan()
 	cfg.Machine.Invariants = *inv
+	cfg.Workers = *workers
 	sc, ok := experiments.ScaleFor(*scale)
 	if !ok {
 		return fmt.Errorf("unknown scale %q", *scale)
@@ -70,7 +100,6 @@ func run() error {
 	}
 	cfg.Scale = sc
 	suite := experiments.NewSuite(cfg)
-	w := os.Stdout
 
 	// The table drivers share the five benchmark traces; simulate them
 	// concurrently up front when more than one consumer will need them.
@@ -137,18 +166,19 @@ func run() error {
 	}
 	if wantF(6) || wantF(7) {
 		figApps := map[int][]string{6: {"appbt", "barnes", "dsmc"}, 7: {"moldyn", "unstructured"}}
+		var apps []string
 		for _, n := range []int{6, 7} {
-			if !wantF(n) {
-				continue
+			if wantF(n) {
+				apps = append(apps, figApps[n]...)
 			}
-			for _, app := range figApps[n] {
-				rows, err := experiments.Figures6and7(suite, app, 8)
-				if err != nil {
-					return err
-				}
-				report.Signatures(w, app, rows)
-				fmt.Fprintln(w)
-			}
+		}
+		panels, err := experiments.SignaturePanels(suite, apps, 8)
+		if err != nil {
+			return err
+		}
+		for i, app := range apps {
+			report.Signatures(w, app, panels[i])
+			fmt.Fprintln(w)
 		}
 	}
 	if wantF(8) {

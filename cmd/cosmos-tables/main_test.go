@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"testing"
@@ -34,4 +35,50 @@ func TestByteIdenticalRuns(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Fatalf("two identical runs diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
+}
+
+// TestOutputWorkerInvariance is the parallel engine's end-to-end
+// byte-identity check: the full small-scale evaluation rendered with a
+// single worker, with an 8-worker pool, and with a second 8-worker
+// pool must produce exactly the same bytes. Everything the command
+// prints flows through run's writer — tables, figures, and every
+// extra — so any scheduling dependence anywhere in the experiment
+// drivers shows up here.
+func TestOutputWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full small-scale evaluation three times")
+	}
+	render := func(workers string) []byte {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-scale", "small", "-workers", workers}); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := render("1")
+	if len(serial) == 0 {
+		t.Fatal("empty output")
+	}
+	parallel1 := render("8")
+	parallel2 := render("8")
+	if !bytes.Equal(serial, parallel1) {
+		t.Errorf("serial and 8-worker outputs differ at %s", firstDiff(serial, parallel1))
+	}
+	if !bytes.Equal(parallel1, parallel2) {
+		t.Errorf("two 8-worker runs differ at %s", firstDiff(parallel1, parallel2))
+	}
+}
+
+// firstDiff locates the first divergent line pair for the failure
+// message.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := min(len(al), len(bl))
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  %s\n  %s", i+1, al[i], bl[i])
+		}
+	}
+	return "the end (one output is a prefix of the other)"
 }

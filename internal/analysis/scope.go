@@ -19,6 +19,10 @@ var simCorePackages = []string{
 	"internal/workload",
 	"internal/invariant",
 	"internal/chaos",
+	// The worker pool reassembles parallel results into deterministic
+	// order; wall-clock or global-rand creep here would let scheduling
+	// leak into every experiment that fans out over it.
+	"internal/parallel",
 }
 
 // InSimulationCore reports whether the package is part of the

@@ -26,6 +26,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/invariant"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -375,12 +376,14 @@ func RunSeed(cfg Config, seed int64) (res Result) {
 	return res
 }
 
-// Sweep runs n consecutive seeds starting at start and returns every
-// result in seed order.
-func Sweep(cfg Config, start int64, n int) []Result {
-	out := make([]Result, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, RunSeed(cfg, start+int64(i)))
-	}
+// Sweep runs n consecutive seeds starting at start over a pool of
+// workers goroutines (1 = serial) and returns every result in seed
+// order. RunSeed is pure in (cfg, seed), so the worker count changes
+// wall-clock time only — the returned slice is identical for any
+// workers value.
+func Sweep(cfg Config, start int64, n, workers int) []Result {
+	out, _ := parallel.Map(n, workers, func(i int) (Result, error) {
+		return RunSeed(cfg, start+int64(i)), nil
+	})
 	return out
 }

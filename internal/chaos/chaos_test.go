@@ -18,9 +18,29 @@ func failingConfig() Config {
 
 func TestCleanSweepFindsNothing(t *testing.T) {
 	cfg := DefaultConfig().Quick()
-	for _, r := range Sweep(cfg, 1, 8) {
+	for _, r := range Sweep(cfg, 1, 8, 1) {
 		if r.Failed() {
 			t.Errorf("seed %d: %s on an unmodified protocol\n%s", r.Seed, r.Outcome, r.Diagnostic)
+		}
+	}
+}
+
+// TestSweepWorkerInvariance: the sweep's results must not depend on the
+// worker count — RunSeed is pure in (cfg, seed) and Sweep reassembles
+// by seed order, so serial and parallel sweeps are interchangeable.
+func TestSweepWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig().Quick()
+	serial := Sweep(cfg, 1, 8, 1)
+	for _, workers := range []int{4, 8} {
+		got := Sweep(cfg, 1, 8, workers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d seed %d diverged from serial:\n%+v\n%+v",
+					workers, serial[i].Seed, serial[i], got[i])
+			}
 		}
 	}
 }

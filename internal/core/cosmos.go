@@ -86,6 +86,111 @@ type phtEntry struct {
 	counter int
 }
 
+// phtTable is an open-addressed hash table from packed history pattern
+// to phtEntry, replacing the earlier map[uint64]*phtEntry. Entries are
+// stored by value in one contiguous slice, so the steady-state Observe
+// path — probe, compare, mutate in place — touches two flat arrays and
+// performs zero allocations; the map version cost one pointer
+// indirection per entry plus an allocation per insert.
+//
+// Linear probing with a power-of-two capacity and a 3/4 load-factor
+// growth threshold. Patterns are never deleted individually (Forget
+// discards a block's whole table), so no tombstones are needed. A
+// trained history is never the zero pattern in practice (every packed
+// tuple carries a nonzero message type), but key 0 is still handled —
+// via a dedicated slot rather than stealing 0 as the empty marker — so
+// the table stays correct for any keying scheme a variant adopts.
+type phtTable struct {
+	keys    []uint64
+	entries []phtEntry
+	n       int
+	hasZero bool
+	zero    phtEntry
+}
+
+// phtHash spreads a packed history over the table (splitmix64
+// finalizer; consecutive patterns differ only in a few tuple bits).
+func phtHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// len returns the number of stored patterns.
+func (t *phtTable) len() int {
+	if t.hasZero {
+		return t.n + 1
+	}
+	return t.n
+}
+
+// find returns the entry for key, or nil if the pattern is untrained.
+// The pointer is valid until the next insert.
+func (t *phtTable) find(key uint64) *phtEntry {
+	if key == 0 {
+		if t.hasZero {
+			return &t.zero
+		}
+		return nil
+	}
+	if len(t.keys) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := phtHash(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case key:
+			return &t.entries[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// insert stores a new pattern (the caller has checked it is absent).
+func (t *phtTable) insert(key uint64, e phtEntry) {
+	if key == 0 {
+		t.hasZero = true
+		t.zero = e
+		return
+	}
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := phtHash(key) & mask
+	for t.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.entries[i] = e
+	t.n++
+}
+
+// grow doubles the table (initially 8 slots) and rehashes.
+func (t *phtTable) grow() {
+	newCap := 8
+	if len(t.keys) > 0 {
+		newCap = 2 * len(t.keys)
+	}
+	oldKeys, oldEntries := t.keys, t.entries
+	t.keys = make([]uint64, newCap)
+	t.entries = make([]phtEntry, newCap)
+	mask := uint64(newCap - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := phtHash(k) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.entries[i] = oldEntries[j]
+	}
+}
+
 // blockState is one MHR and its PHT.
 type blockState struct {
 	// mhr holds the last depth tuples, packed; most recent in the low
@@ -93,15 +198,24 @@ type blockState struct {
 	mhr uint64
 	// seen counts messages received for this block.
 	seen uint64
-	pht  map[uint64]*phtEntry
+	pht  phtTable
 }
 
 // Predictor is one Cosmos predictor instance. It is not safe for
 // concurrent use; the simulated machine is single-threaded.
+//
+// Block states live in one slab indexed through a compact address map,
+// not behind per-block pointers: the evaluator walks millions of
+// messages over thousands of blocks, and keeping the states contiguous
+// removes an allocation per block plus a cache miss per access.
 type Predictor struct {
 	cfg     Config
 	mhrMask uint64
-	blocks  map[coherence.Addr]*blockState
+	// index maps a block address to its slot in slab.
+	index map[coherence.Addr]int32
+	slab  []blockState
+	// free lists slab slots released by Forget for reuse.
+	free []int32
 
 	phtEntries uint64
 }
@@ -114,8 +228,20 @@ func New(cfg Config) (*Predictor, error) {
 	return &Predictor{
 		cfg:     cfg,
 		mhrMask: (uint64(1) << (16 * cfg.Depth)) - 1,
-		blocks:  make(map[coherence.Addr]*blockState),
+		index:   make(map[coherence.Addr]int32),
 	}, nil
+}
+
+// block returns the state for addr, or nil if the block is untracked.
+// The pointer is valid until the next block is added (slab growth may
+// move the backing array), so callers use it within one operation and
+// never retain it.
+func (p *Predictor) block(addr coherence.Addr) *blockState {
+	i, ok := p.index[addr]
+	if !ok {
+		return nil
+	}
+	return &p.slab[i]
 }
 
 // MustNew is New for constant configurations; it panics on error.
@@ -137,11 +263,11 @@ func (p *Predictor) Config() Config { return p.cfg }
 // depth messages have been seen, or the current history pattern has no
 // PHT entry yet.
 func (p *Predictor) Predict(addr coherence.Addr) (pred coherence.Tuple, ok bool) {
-	bs := p.blocks[addr]
-	if bs == nil || bs.seen < uint64(p.cfg.Depth) || bs.pht == nil {
+	bs := p.block(addr)
+	if bs == nil || bs.seen < uint64(p.cfg.Depth) {
 		return coherence.Tuple{}, false
 	}
-	e := bs.pht[bs.mhr]
+	e := bs.pht.find(bs.mhr)
 	if e == nil {
 		return coherence.Tuple{}, false
 	}
@@ -173,7 +299,7 @@ func (p *Predictor) Observe(addr coherence.Addr, actual coherence.Tuple) (pred c
 // first. It returns fewer than depth tuples while the register is
 // still filling.
 func (p *Predictor) History(addr coherence.Addr) []coherence.Tuple {
-	bs := p.blocks[addr]
+	bs := p.block(addr)
 	if bs == nil {
 		return nil
 	}
@@ -200,17 +326,20 @@ func (p *Predictor) History(addr coherence.Addr) []coherence.Tuple {
 // Stand-alone Cosmos tables never need it; the replacement experiment
 // quantifies what merging would cost.
 func (p *Predictor) Forget(addr coherence.Addr) {
-	bs := p.blocks[addr]
-	if bs == nil {
+	i, ok := p.index[addr]
+	if !ok {
 		return
 	}
-	p.phtEntries -= uint64(len(bs.pht))
-	delete(p.blocks, addr)
+	bs := &p.slab[i]
+	p.phtEntries -= uint64(bs.pht.len())
+	*bs = blockState{}
+	p.free = append(p.free, i)
+	delete(p.index, addr)
 }
 
 // MHREntries returns the number of blocks tracked (MHT size): blocks
 // that received at least one message.
-func (p *Predictor) MHREntries() uint64 { return uint64(len(p.blocks)) }
+func (p *Predictor) MHREntries() uint64 { return uint64(len(p.index)) }
 
 // PHTEntries returns the total number of pattern-history entries
 // across all blocks.
@@ -218,11 +347,11 @@ func (p *Predictor) PHTEntries() uint64 { return p.phtEntries }
 
 // PHTEntriesFor returns the PHT size of one block.
 func (p *Predictor) PHTEntriesFor(addr coherence.Addr) int {
-	bs := p.blocks[addr]
+	bs := p.block(addr)
 	if bs == nil {
 		return 0
 	}
-	return len(bs.pht)
+	return bs.pht.len()
 }
 
 // MemoryStats is the Table 7 accounting for one or more predictors.

@@ -140,19 +140,24 @@ func (p *Predictor) updateIndexed(addr coherence.Addr, indexTuple, payload coher
 	if err != nil {
 		panic(err)
 	}
-	bs := p.blocks[addr]
+	bs := p.block(addr)
 	if bs == nil {
-		bs = &blockState{}
-		p.blocks[addr] = bs
+		var slot int32
+		if n := len(p.free); n > 0 {
+			slot = p.free[n-1]
+			p.free = p.free[:n-1]
+		} else {
+			slot = int32(len(p.slab))
+			p.slab = append(p.slab, blockState{})
+		}
+		p.index[addr] = slot
+		bs = &p.slab[slot]
 	}
 	if bs.seen >= uint64(p.cfg.Depth) {
-		if bs.pht == nil {
-			bs.pht = make(map[uint64]*phtEntry)
-		}
-		e := bs.pht[bs.mhr]
+		e := bs.pht.find(bs.mhr)
 		switch {
 		case e == nil:
-			bs.pht[bs.mhr] = &phtEntry{pred: payload}
+			bs.pht.insert(bs.mhr, phtEntry{pred: payload})
 			p.phtEntries++
 		case e.pred == payload:
 			if e.counter < p.cfg.FilterMax {
@@ -186,8 +191,8 @@ type PreallocStats struct {
 // static per-block entry count.
 func (p *Predictor) Prealloc(prealloc int) PreallocStats {
 	var s PreallocStats
-	for _, bs := range p.blocks {
-		n := len(bs.pht)
+	for _, slot := range p.index {
+		n := p.slab[slot].pht.len()
 		if n == 0 {
 			continue
 		}

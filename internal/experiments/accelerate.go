@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/speculate"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
@@ -27,9 +28,9 @@ type AccelerateRow struct {
 // trips collapse into the read — while dsmc, whose producers write
 // without reading, offers the RMW action almost nothing.
 func AccelerateBenchmarks(cfg Config, pcfg core.Config) ([]AccelerateRow, error) {
-	var rows []AccelerateRow
-	for _, name := range NewSuite(cfg).Apps() {
-		name := name
+	apps := NewSuite(cfg).Apps()
+	return parallel.Map(len(apps), cfg.workerCount(), func(i int) (AccelerateRow, error) {
+		name := apps[i]
 		app := func() workload.App {
 			a, err := workload.ByName(name, cfg.Machine.Nodes, cfg.Scale)
 			if err != nil {
@@ -39,16 +40,15 @@ func AccelerateBenchmarks(cfg Config, pcfg core.Config) ([]AccelerateRow, error)
 		}
 		cmp, err := speculate.Accelerate(app, cfg.Machine, cfg.Stache, pcfg)
 		if err != nil {
-			return nil, err
+			return AccelerateRow{}, err
 		}
-		rows = append(rows, AccelerateRow{
+		return AccelerateRow{
 			App:              name,
 			BaselineMsgs:     cmp.Baseline.Messages,
 			AcceleratedMsgs:  cmp.Accelerated.Messages,
 			Speculations:     cmp.Accelerated.Speculations,
 			MessageReduction: cmp.MessageReduction(),
 			TimeReduction:    cmp.TimeReduction(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

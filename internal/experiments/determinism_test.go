@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/cosmos-coherence/cosmos/internal/faults"
@@ -52,6 +53,62 @@ func TestDeterminism(t *testing.T) {
 							app, node, first[node], second[node])
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestWorkerInvariance is the parallel-engine regression test: every
+// experiment driver must return identical rows whether its cells run
+// serially, on an 8-worker pool, or on a second 8-worker pool (so the
+// parallel path is also self-consistent, not just serial-equivalent).
+// The worker pool shards work and reassembles results by index; any
+// scheduling dependence — shared predictor state, map iteration
+// leaking into row order, worker-count-dependent seeding — breaks this
+// equality.
+func TestWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment drivers three times each")
+	}
+	base := DefaultConfig()
+	base.Scale = workload.ScaleSmall
+
+	drivers := []struct {
+		name string
+		run  func(cfg Config) (any, error)
+	}{
+		{"Table5", func(cfg Config) (any, error) { return Table5(NewSuite(cfg)) }},
+		{"Table6", func(cfg Config) (any, error) { return Table6(NewSuite(cfg)) }},
+		{"Table8", func(cfg Config) (any, error) { return Table8(NewSuite(cfg)) }},
+		{"SignaturePanels", func(cfg Config) (any, error) {
+			s := NewSuite(cfg)
+			return SignaturePanels(s, s.Apps(), 8)
+		}},
+		{"DirectedComparison", func(cfg Config) (any, error) { return DirectedComparison(NewSuite(cfg)) }},
+		{"Variants", func(cfg Config) (any, error) { return Variants(NewSuite(cfg)) }},
+		{"PApVsPAg", func(cfg Config) (any, error) { return PApVsPAg(NewSuite(cfg), 1) }},
+		{"LatencySweep", func(cfg Config) (any, error) { return LatencySweep(cfg, []uint64{40, 1000}) }},
+		{"FilterDepth", func(cfg Config) (any, error) { return FilterDepth(NewSuite(cfg)) }},
+		{"StateEquivalence", func(cfg Config) (any, error) { return StateEquivalence(cfg) }},
+		{"FaultSweep", func(cfg Config) (any, error) { return FaultSweep(cfg, []float64{0, 0.02}, 42) }},
+	}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			results := make([]any, 3)
+			for i, workers := range []int{1, 8, 8} {
+				cfg := base
+				cfg.Workers = workers
+				got, err := d.run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				results[i] = got
+			}
+			if !reflect.DeepEqual(results[0], results[1]) {
+				t.Errorf("serial and 8-worker results differ:\n%+v\n%+v", results[0], results[1])
+			}
+			if !reflect.DeepEqual(results[1], results[2]) {
+				t.Errorf("two 8-worker runs differ:\n%+v\n%+v", results[1], results[2])
 			}
 		})
 	}

@@ -11,9 +11,11 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
@@ -30,6 +32,19 @@ type Config struct {
 	Scale   workload.Scale
 	Machine sim.Config
 	Stache  stache.Options
+	// Workers bounds the pool the experiment drivers shard independent
+	// cells — (app x depth) table cells, figure panels, sweep points —
+	// over. 0 or 1 runs serially. Every width produces byte-identical
+	// results; the pool changes only wall-clock time.
+	Workers int
+}
+
+// workerCount normalizes Workers for the drivers.
+func (c Config) workerCount() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // DefaultConfig is the paper's setup: Table 3 machine, half-migratory
@@ -58,82 +73,93 @@ func Run(app workload.App, cfg Config) (*trace.Trace, error) {
 
 // Suite lazily generates and memoizes the five benchmark traces for a
 // configuration, so the table drivers share one simulation per app.
+//
+// A Suite is safe for concurrent use: the parallel experiment engine
+// shards table cells and figure panels across a worker pool, and any
+// number of workers may demand the same trace — the first to arrive
+// simulates, the rest block on the per-app once. Each simulation runs
+// on its own single-threaded sim.Engine with its own predictors, so
+// the only shared state is the memo table itself.
 type Suite struct {
-	cfg    Config
-	traces map[string]*trace.Trace
+	cfg     Config
+	workers int
+
+	mu     sync.Mutex
+	traces map[string]*traceEntry
 }
 
-// NewSuite creates an empty suite.
+// traceEntry memoizes one benchmark's simulation exactly once.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// NewSuite creates an empty suite; the pool width comes from
+// cfg.Workers (overridable with SetWorkers).
 func NewSuite(cfg Config) *Suite {
-	return &Suite{cfg: cfg, traces: make(map[string]*trace.Trace)}
+	return &Suite{cfg: cfg, workers: cfg.workerCount(), traces: make(map[string]*traceEntry)}
 }
 
 // Config returns the suite's configuration.
 func (s *Suite) Config() Config { return s.cfg }
+
+// SetWorkers bounds the worker pool the experiment drivers shard their
+// independent cells over (1 = serial). Results are identical for every
+// width — the pool only changes wall-clock time — which the
+// determinism regression tests enforce.
+func (s *Suite) SetWorkers(n int) *Suite {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	return s
+}
+
+// Workers returns the configured pool width.
+func (s *Suite) Workers() int { return s.workers }
 
 // Apps returns the benchmark names in table order.
 func (s *Suite) Apps() []string {
 	return []string{"appbt", "barnes", "dsmc", "moldyn", "unstructured"}
 }
 
-// Prefetch simulates every benchmark concurrently and memoizes the
-// traces. The machines are independent single-threaded simulators, so
-// this cuts a full-suite run's wall time by roughly the benchmark
-// count. Subsequent Trace calls hit the cache.
+// Prefetch simulates every benchmark up front on the suite's worker
+// pool and memoizes the traces. The machines are independent
+// single-threaded simulators, so this cuts a full-suite run's wall
+// time by up to the benchmark count. Subsequent Trace calls hit the
+// cache.
 func (s *Suite) Prefetch() error {
-	type result struct {
-		name string
-		tr   *trace.Trace
-		err  error
-	}
 	names := s.Apps()
-	ch := make(chan result, len(names))
-	started := 0
-	for _, name := range names {
-		if _, ok := s.traces[name]; ok {
-			continue
-		}
-		started++
-		go func(name string) {
-			app, err := workload.ByName(name, s.cfg.Machine.Nodes, s.cfg.Scale)
-			if err != nil {
-				ch <- result{name: name, err: err}
-				return
-			}
-			tr, err := Run(app, s.cfg)
-			ch <- result{name: name, tr: tr, err: err}
-		}(name)
+	if err := parallel.ForEach(len(names), s.workers, func(i int) error {
+		_, err := s.Trace(names[i])
+		return err
+	}); err != nil {
+		return fmt.Errorf("experiments: prefetching: %w", err)
 	}
-	var firstErr error
-	for i := 0; i < started; i++ {
-		r := <-ch
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: prefetching %s: %w", r.name, r.err)
-			}
-			continue
-		}
-		s.traces[r.name] = r.tr
-	}
-	return firstErr
+	return nil
 }
 
 // Trace returns the memoized trace for a benchmark, simulating on
-// first use.
+// first use. Concurrent callers for the same benchmark share one
+// simulation.
 func (s *Suite) Trace(name string) (*trace.Trace, error) {
-	if tr, ok := s.traces[name]; ok {
-		return tr, nil
+	s.mu.Lock()
+	e, ok := s.traces[name]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[name] = e
 	}
-	app, err := workload.ByName(name, s.cfg.Machine.Nodes, s.cfg.Scale)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := Run(app, s.cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.traces[name] = tr
-	return tr, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		app, err := workload.ByName(name, s.cfg.Machine.Nodes, s.cfg.Scale)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tr, e.err = Run(app, s.cfg)
+	})
+	return e.tr, e.err
 }
 
 // Evaluate runs a predictor configuration over a benchmark's trace.

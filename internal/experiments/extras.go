@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -22,24 +23,36 @@ type LatencyRow struct {
 // latency (traces cannot be shared across timing configurations) and
 // evaluated with a depth-1 filterless Cosmos.
 func LatencySweep(cfg Config, latenciesNs []uint64) ([]LatencyRow, error) {
-	var rows []LatencyRow
-	for _, lat := range latenciesNs {
+	// One suite per latency point keeps the per-latency traces shared;
+	// the (latency, app) sweep cells then fan out over the pool.
+	suites := make([]*Suite, len(latenciesNs))
+	for i, lat := range latenciesNs {
 		c := cfg
 		c.Machine.NetworkLatencyNs = sim.Time(lat)
-		suite := NewSuite(c)
-		for _, app := range suite.Apps() {
-			res, err := suite.Evaluate(app, core.Config{Depth: 1}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, LatencyRow{
-				App:       app,
-				LatencyNs: lat,
-				Overall:   100 * res.Overall.Accuracy(),
-			})
+		suites[i] = NewSuite(c)
+	}
+	type cell struct {
+		lat int
+		app string
+	}
+	var cells []cell
+	for i := range latenciesNs {
+		for _, app := range suites[i].Apps() {
+			cells = append(cells, cell{lat: i, app: app})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), cfg.workerCount(), func(i int) (LatencyRow, error) {
+		c := cells[i]
+		res, err := suites[c.lat].Evaluate(c.app, core.Config{Depth: 1}, stats.Options{})
+		if err != nil {
+			return LatencyRow{}, err
+		}
+		return LatencyRow{
+			App:       c.app,
+			LatencyNs: latenciesNs[c.lat],
+			Overall:   100 * res.Overall.Accuracy(),
+		}, nil
+	})
 }
 
 // AblationRow is one cell of the half-migratory ablation.
@@ -58,30 +71,42 @@ type AblationRow struct {
 // depth-1 accuracy under both protocols. This is the DESIGN.md ablation
 // for the paper's Section 5.1 protocol choice.
 func HalfMigratoryAblation(cfg Config) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, hm := range []bool{true, false} {
+	variants := []bool{true, false}
+	suites := make([]*Suite, len(variants))
+	for i, hm := range variants {
 		c := cfg
 		c.Stache.HalfMigratory = hm
-		suite := NewSuite(c)
-		for _, app := range suite.Apps() {
-			tr, err := suite.Trace(app)
-			if err != nil {
-				return nil, err
-			}
-			res, err := suite.Evaluate(app, core.Config{Depth: 1}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			_, dir := tr.CountBySide()
-			rows = append(rows, AblationRow{
-				App:           app,
-				HalfMigratory: hm,
-				Overall:       100 * res.Overall.Accuracy(),
-				DirMessages:   dir,
-			})
+		suites[i] = NewSuite(c)
+	}
+	type cell struct {
+		variant int
+		app     string
+	}
+	var cells []cell
+	for i := range variants {
+		for _, app := range suites[i].Apps() {
+			cells = append(cells, cell{variant: i, app: app})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), cfg.workerCount(), func(i int) (AblationRow, error) {
+		c := cells[i]
+		suite := suites[c.variant]
+		tr, err := suite.Trace(c.app)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		res, err := suite.Evaluate(c.app, core.Config{Depth: 1}, stats.Options{})
+		if err != nil {
+			return AblationRow{}, err
+		}
+		_, dir := tr.CountBySide()
+		return AblationRow{
+			App:           c.app,
+			HalfMigratory: variants[c.variant],
+			Overall:       100 * res.Overall.Accuracy(),
+			DirMessages:   dir,
+		}, nil
+	})
 }
 
 // FilterDepthInteraction is the DESIGN.md ablation for Section 3.6's
@@ -94,24 +119,32 @@ type FilterDepthCell struct {
 	Overall   float64
 }
 
-// FilterDepth computes the extended filter-by-depth grid.
+// FilterDepth computes the extended filter-by-depth grid, one
+// worker-pool cell per (depth, filter, app) combination.
 func FilterDepth(s *Suite) ([]FilterDepthCell, error) {
-	var cells []FilterDepthCell
+	type key struct {
+		depth, fmax int
+		app         string
+	}
+	var keys []key
 	for depth := 1; depth <= 4; depth++ {
 		for _, fmax := range []int{0, 1, 2} {
 			for _, app := range s.Apps() {
-				res, err := s.Evaluate(app, core.Config{Depth: depth, FilterMax: fmax}, stats.Options{})
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, FilterDepthCell{
-					App: app, Depth: depth, FilterMax: fmax,
-					Overall: 100 * res.Overall.Accuracy(),
-				})
+				keys = append(keys, key{depth: depth, fmax: fmax, app: app})
 			}
 		}
 	}
-	return cells, nil
+	return parallel.Map(len(keys), s.workers, func(i int) (FilterDepthCell, error) {
+		k := keys[i]
+		res, err := s.Evaluate(k.app, core.Config{Depth: k.depth, FilterMax: k.fmax}, stats.Options{})
+		if err != nil {
+			return FilterDepthCell{}, err
+		}
+		return FilterDepthCell{
+			App: k.app, Depth: k.depth, FilterMax: k.fmax,
+			Overall: 100 * res.Overall.Accuracy(),
+		}, nil
+	})
 }
 
 // ScaleFor maps a command-line scale name to workload.Scale.
@@ -152,50 +185,62 @@ type ReplacementRow struct {
 // bounded cache; bounded traces are evaluated both with persistent
 // predictor tables and with ForgetOnWriteback.
 func Replacement(cfg Config, cacheBlocks, assoc int) ([]ReplacementRow, error) {
-	var rows []ReplacementRow
-	for _, bounded := range []bool{false, true} {
+	bounds := []bool{false, true}
+	suites := make([]*Suite, len(bounds))
+	for i, bounded := range bounds {
 		c := cfg
 		if bounded {
 			c.Stache.CacheBlocks = cacheBlocks
 			c.Stache.CacheAssoc = assoc
 		}
-		suite := NewSuite(c)
-		for _, app := range suite.Apps() {
-			tr, err := suite.Trace(app)
-			if err != nil {
-				return nil, err
-			}
-			var writebacks uint64
-			for _, rec := range tr.Records {
-				if rec.Type == coherence.WritebackReq {
-					writebacks++
-				}
-			}
-			variants := []bool{false}
+		suites[i] = NewSuite(c)
+	}
+	// One cell per (bounded, app, forget) row, in the table's order;
+	// forget variants of one bounded app share that suite's trace.
+	type cell struct {
+		bound  int
+		app    string
+		forget bool
+	}
+	var cells []cell
+	for i, bounded := range bounds {
+		for _, app := range suites[i].Apps() {
+			cells = append(cells, cell{bound: i, app: app, forget: false})
 			if bounded {
-				variants = []bool{false, true}
-			}
-			for _, forget := range variants {
-				res, err := suite.Evaluate(app, core.Config{Depth: 1},
-					stats.Options{ForgetOnWriteback: forget})
-				if err != nil {
-					return nil, err
-				}
-				row := ReplacementRow{
-					App:               app,
-					ForgetOnWriteback: forget,
-					Overall:           100 * res.Overall.Accuracy(),
-					Writebacks:        writebacks,
-					Messages:          uint64(len(tr.Records)),
-				}
-				if bounded {
-					row.CacheBlocks = cacheBlocks
-				}
-				rows = append(rows, row)
+				cells = append(cells, cell{bound: i, app: app, forget: true})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), cfg.workerCount(), func(i int) (ReplacementRow, error) {
+		c := cells[i]
+		suite := suites[c.bound]
+		tr, err := suite.Trace(c.app)
+		if err != nil {
+			return ReplacementRow{}, err
+		}
+		var writebacks uint64
+		for _, rec := range tr.Records {
+			if rec.Type == coherence.WritebackReq {
+				writebacks++
+			}
+		}
+		res, err := suite.Evaluate(c.app, core.Config{Depth: 1},
+			stats.Options{ForgetOnWriteback: c.forget})
+		if err != nil {
+			return ReplacementRow{}, err
+		}
+		row := ReplacementRow{
+			App:               c.app,
+			ForgetOnWriteback: c.forget,
+			Overall:           100 * res.Overall.Accuracy(),
+			Writebacks:        writebacks,
+			Messages:          uint64(len(tr.Records)),
+		}
+		if bounds[c.bound] {
+			row.CacheBlocks = cacheBlocks
+		}
+		return row, nil
+	})
 }
 
 // ForwardingRow is one cell of the Section 2.1 protocol-variant check.
@@ -217,29 +262,41 @@ type ForwardingRow struct {
 // fixed home directory), so cache-side senders diversify; the claim is
 // that accuracy stays in the same band.
 func ForwardingComparison(cfg Config) ([]ForwardingRow, error) {
-	var rows []ForwardingRow
-	for _, fwd := range []bool{false, true} {
+	variants := []bool{false, true}
+	suites := make([]*Suite, len(variants))
+	for i, fwd := range variants {
 		c := cfg
 		c.Stache.Forwarding = fwd
-		suite := NewSuite(c)
-		for _, app := range suite.Apps() {
-			tr, err := suite.Trace(app)
-			if err != nil {
-				return nil, err
-			}
-			res, err := suite.Evaluate(app, core.Config{Depth: 1}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ForwardingRow{
-				App:        app,
-				Forwarding: fwd,
-				Cache:      100 * res.Cache.Accuracy(),
-				Dir:        100 * res.Dir.Accuracy(),
-				Overall:    100 * res.Overall.Accuracy(),
-				Messages:   uint64(len(tr.Records)),
-			})
+		suites[i] = NewSuite(c)
+	}
+	type cell struct {
+		variant int
+		app     string
+	}
+	var cells []cell
+	for i := range variants {
+		for _, app := range suites[i].Apps() {
+			cells = append(cells, cell{variant: i, app: app})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), cfg.workerCount(), func(i int) (ForwardingRow, error) {
+		c := cells[i]
+		suite := suites[c.variant]
+		tr, err := suite.Trace(c.app)
+		if err != nil {
+			return ForwardingRow{}, err
+		}
+		res, err := suite.Evaluate(c.app, core.Config{Depth: 1}, stats.Options{})
+		if err != nil {
+			return ForwardingRow{}, err
+		}
+		return ForwardingRow{
+			App:        c.app,
+			Forwarding: variants[c.variant],
+			Cache:      100 * res.Cache.Accuracy(),
+			Dir:        100 * res.Dir.Accuracy(),
+			Overall:    100 * res.Overall.Accuracy(),
+			Messages:   uint64(len(tr.Records)),
+		}, nil
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -42,40 +43,49 @@ type FaultRow struct {
 // FIFO delivery, so the predictor sees the same *kind* of stream —
 // only timing-dependent race resolutions may differ.
 func FaultSweep(cfg Config, dropProbs []float64, seed uint64) ([]FaultRow, error) {
-	var rows []FaultRow
+	// Every (drop probability, app) sweep point is an independent
+	// simulation on its own machine; fan them all out at once.
+	type cell struct {
+		prob float64
+		app  string
+	}
+	var cells []cell
 	for _, p := range dropProbs {
-		c := cfg
-		c.Machine.Faults = faults.Plan{Seed: seed, DropProb: p}
-		for _, name := range NewSuite(c).Apps() {
-			app, err := workload.ByName(name, c.Machine.Nodes, c.Scale)
-			if err != nil {
-				return nil, err
-			}
-			m, err := machine.New(c.Machine, c.Stache, app)
-			if err != nil {
-				return nil, err
-			}
-			rec := trace.NewRecorder(app.Name(), c.Machine.Nodes, app.PhasesPerIteration(), 0)
-			m.AddObserver(rec)
-			if err := m.Run(maxSimEvents); err != nil {
-				return nil, fmt.Errorf("experiments: %s at drop %.3f: %w", name, p, err)
-			}
-			tr := rec.Trace()
-			res, err := stats.Evaluate(tr, core.Config{Depth: 1}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			ns := m.Network().Stats()
-			rows = append(rows, FaultRow{
-				App:         name,
-				DropProb:    p,
-				Overall:     100 * res.Overall.Accuracy(),
-				Messages:    uint64(len(tr.Records)),
-				Dropped:     ns.FaultDropped,
-				Duplicated:  ns.FaultDuplicated,
-				Retransmits: ns.Retransmits,
-			})
+		for _, name := range NewSuite(cfg).Apps() {
+			cells = append(cells, cell{prob: p, app: name})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), cfg.workerCount(), func(i int) (FaultRow, error) {
+		name, p := cells[i].app, cells[i].prob
+		c := cfg
+		c.Machine.Faults = faults.Plan{Seed: seed, DropProb: p}
+		app, err := workload.ByName(name, c.Machine.Nodes, c.Scale)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		m, err := machine.New(c.Machine, c.Stache, app)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		rec := trace.NewRecorder(app.Name(), c.Machine.Nodes, app.PhasesPerIteration(), 0)
+		m.AddObserver(rec)
+		if err := m.Run(maxSimEvents); err != nil {
+			return FaultRow{}, fmt.Errorf("experiments: %s at drop %.3f: %w", name, p, err)
+		}
+		tr := rec.Trace()
+		res, err := stats.Evaluate(tr, core.Config{Depth: 1}, stats.Options{})
+		if err != nil {
+			return FaultRow{}, err
+		}
+		ns := m.Network().Stats()
+		return FaultRow{
+			App:         name,
+			DropProb:    p,
+			Overall:     100 * res.Overall.Accuracy(),
+			Messages:    uint64(len(tr.Records)),
+			Dropped:     ns.FaultDropped,
+			Duplicated:  ns.FaultDuplicated,
+			Retransmits: ns.Retransmits,
+		}, nil
+	})
 }

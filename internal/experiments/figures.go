@@ -7,6 +7,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/directed"
 	"github.com/cosmos-coherence/cosmos/internal/model"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -63,6 +64,15 @@ func Figures6and7(s *Suite, app string, topN int) ([]SignatureRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// SignaturePanels computes the Figure 6/7 panels for several apps at
+// once, one worker-pool cell per app, returning the panels in the
+// apps' given order.
+func SignaturePanels(s *Suite, apps []string, topN int) ([][]SignatureRow, error) {
+	return parallel.Map(len(apps), s.workers, func(i int) ([]SignatureRow, error) {
+		return Figures6and7(s, apps[i], topN)
+	})
 }
 
 // classifier is the optional introspection interface of the Figure 8
@@ -179,37 +189,44 @@ type DirectedComparisonRow struct {
 // directed predictors (which only cover their a-priori patterns) and
 // the naive baselines.
 func DirectedComparison(s *Suite) ([]DirectedComparisonRow, error) {
-	var rows []DirectedComparisonRow
+	type cell struct {
+		app  string
+		side trace.Side
+	}
+	var cells []cell
 	for _, app := range s.Apps() {
-		tr, err := s.Trace(app)
-		if err != nil {
-			return nil, err
-		}
 		for _, side := range []trace.Side{trace.CacheSide, trace.DirectorySide} {
-			row := DirectedComparisonRow{App: app, Side: side}
-			row.Evals = append(row.Evals,
-				evalDirected(tr, side, "cosmos-d1", func() directed.MessagePredictor {
-					return core.MustNew(core.Config{Depth: 1})
-				}),
-				evalDirected(tr, side, "cosmos-d3", func() directed.MessagePredictor {
-					return core.MustNew(core.Config{Depth: 3})
-				}),
-				evalDirected(tr, side, "last-tuple", func() directed.MessagePredictor {
-					return directed.NewLastTuple()
-				}),
-				evalDirected(tr, side, "most-common", func() directed.MessagePredictor {
-					return directed.NewMostCommon()
-				}),
-			)
-			if side == trace.DirectorySide {
-				row.Evals = append(row.Evals, evalDirected(tr, side, "migratory",
-					func() directed.MessagePredictor { return directed.NewMigratory() }))
-			} else {
-				row.Evals = append(row.Evals, evalDirected(tr, side, "self-invalidation",
-					func() directed.MessagePredictor { return directed.NewSelfInvalidation() }))
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{app: app, side: side})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), s.workers, func(i int) (DirectedComparisonRow, error) {
+		app, side := cells[i].app, cells[i].side
+		tr, err := s.Trace(app)
+		if err != nil {
+			return DirectedComparisonRow{}, err
+		}
+		row := DirectedComparisonRow{App: app, Side: side}
+		row.Evals = append(row.Evals,
+			evalDirected(tr, side, "cosmos-d1", func() directed.MessagePredictor {
+				return core.MustNew(core.Config{Depth: 1})
+			}),
+			evalDirected(tr, side, "cosmos-d3", func() directed.MessagePredictor {
+				return core.MustNew(core.Config{Depth: 3})
+			}),
+			evalDirected(tr, side, "last-tuple", func() directed.MessagePredictor {
+				return directed.NewLastTuple()
+			}),
+			evalDirected(tr, side, "most-common", func() directed.MessagePredictor {
+				return directed.NewMostCommon()
+			}),
+		)
+		if side == trace.DirectorySide {
+			row.Evals = append(row.Evals, evalDirected(tr, side, "migratory",
+				func() directed.MessagePredictor { return directed.NewMigratory() }))
+		} else {
+			row.Evals = append(row.Evals, evalDirected(tr, side, "self-invalidation",
+				func() directed.MessagePredictor { return directed.NewSelfInvalidation() }))
+		}
+		return row, nil
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
@@ -91,15 +92,16 @@ func (o *stateObserver) ObserveDirectory(n coherence.NodeID, msg coherence.Msg) 
 // directory message stream, and a depth-1 state predictor over the
 // directory state trajectory, on fresh simulations of each benchmark.
 func StateEquivalence(cfg Config) ([]StateEquivalenceRow, error) {
-	var rows []StateEquivalenceRow
-	for _, name := range NewSuite(cfg).Apps() {
+	apps := NewSuite(cfg).Apps()
+	return parallel.Map(len(apps), cfg.workerCount(), func(i int) (StateEquivalenceRow, error) {
+		name := apps[i]
 		app, err := workload.ByName(name, cfg.Machine.Nodes, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return StateEquivalenceRow{}, err
 		}
 		m, err := machine.New(cfg.Machine, cfg.Stache, app)
 		if err != nil {
-			return nil, err
+			return StateEquivalenceRow{}, err
 		}
 		so := &stateObserver{m: m, distinct: make(map[string]bool)}
 		for i := 0; i < cfg.Machine.Nodes; i++ {
@@ -109,12 +111,12 @@ func StateEquivalence(cfg Config) ([]StateEquivalenceRow, error) {
 		m.AddObserver(so)
 		m.AddObserver(rec)
 		if err := m.Run(maxSimEvents); err != nil {
-			return nil, err
+			return StateEquivalenceRow{}, err
 		}
 
 		res, err := stats.Evaluate(rec.Trace(), core.Config{Depth: 1}, stats.Options{})
 		if err != nil {
-			return nil, err
+			return StateEquivalenceRow{}, err
 		}
 		row := StateEquivalenceRow{
 			App:             name,
@@ -124,7 +126,6 @@ func StateEquivalence(cfg Config) ([]StateEquivalenceRow, error) {
 		if so.total > 0 {
 			row.StateAccuracy = 100 * float64(so.hits) / float64(so.total)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

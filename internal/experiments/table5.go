@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 )
 
@@ -16,25 +17,34 @@ type Table5Row struct {
 }
 
 // Table5 reproduces Table 5: Cosmos prediction rates (no filter) for
-// MHR depths 1-4 across the five benchmarks.
+// MHR depths 1-4 across the five benchmarks. The (depth, app) cells
+// are independent evaluations over the shared traces, sharded across
+// the suite's worker pool and returned in the table's fixed order.
 func Table5(s *Suite) ([]Table5Row, error) {
-	var rows []Table5Row
+	type cell struct {
+		depth int
+		app   string
+	}
+	var cells []cell
 	for depth := 1; depth <= 4; depth++ {
 		for _, app := range s.Apps() {
-			res, err := s.Evaluate(app, core.Config{Depth: depth}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table5Row{
-				App:     app,
-				Depth:   depth,
-				Cache:   100 * res.Cache.Accuracy(),
-				Dir:     100 * res.Dir.Accuracy(),
-				Overall: 100 * res.Overall.Accuracy(),
-			})
+			cells = append(cells, cell{depth: depth, app: app})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), s.workers, func(i int) (Table5Row, error) {
+		c := cells[i]
+		res, err := s.Evaluate(c.app, core.Config{Depth: c.depth}, stats.Options{})
+		if err != nil {
+			return Table5Row{}, err
+		}
+		return Table5Row{
+			App:     c.app,
+			Depth:   c.depth,
+			Cache:   100 * res.Cache.Accuracy(),
+			Dir:     100 * res.Dir.Accuracy(),
+			Overall: 100 * res.Overall.Accuracy(),
+		}, nil
+	})
 }
 
 // Table6Row is one (depth, app, filter) cell of Table 6: overall
@@ -48,26 +58,34 @@ type Table6Row struct {
 }
 
 // Table6 reproduces Table 6: the effect of noise filters (maximum
-// count 0, 1, 2) on overall accuracy for MHR depths 1 and 2.
+// count 0, 1, 2) on overall accuracy for MHR depths 1 and 2, one
+// worker-pool cell per (depth, app, filter) combination.
 func Table6(s *Suite) ([]Table6Row, error) {
-	var rows []Table6Row
+	type cell struct {
+		depth, fmax int
+		app         string
+	}
+	var cells []cell
 	for depth := 1; depth <= 2; depth++ {
 		for _, app := range s.Apps() {
 			for _, fmax := range []int{0, 1, 2} {
-				res, err := s.Evaluate(app, core.Config{Depth: depth, FilterMax: fmax}, stats.Options{})
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Table6Row{
-					App:       app,
-					Depth:     depth,
-					FilterMax: fmax,
-					Overall:   100 * res.Overall.Accuracy(),
-				})
+				cells = append(cells, cell{depth: depth, fmax: fmax, app: app})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), s.workers, func(i int) (Table6Row, error) {
+		c := cells[i]
+		res, err := s.Evaluate(c.app, core.Config{Depth: c.depth, FilterMax: c.fmax}, stats.Options{})
+		if err != nil {
+			return Table6Row{}, err
+		}
+		return Table6Row{
+			App:       c.app,
+			Depth:     c.depth,
+			FilterMax: c.fmax,
+			Overall:   100 * res.Overall.Accuracy(),
+		}, nil
+	})
 }
 
 // Table7Row is one (depth, app) cell pair of Table 7: the PHT/MHR
@@ -83,22 +101,29 @@ type Table7Row struct {
 const Table7BlockBytes = 128
 
 // Table7 reproduces Table 7: memory overhead of filterless Cosmos
-// predictors for MHR depths 1-4.
+// predictors for MHR depths 1-4, one worker-pool cell per (depth, app).
 func Table7(s *Suite) ([]Table7Row, error) {
-	var rows []Table7Row
+	type cell struct {
+		depth int
+		app   string
+	}
+	var cells []cell
 	for depth := 1; depth <= 4; depth++ {
 		for _, app := range s.Apps() {
-			res, err := s.Evaluate(app, core.Config{Depth: depth}, stats.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table7Row{
-				App:      app,
-				Depth:    depth,
-				Ratio:    res.Memory.Ratio(),
-				Overhead: res.Memory.Overhead(depth, Table7BlockBytes),
-			})
+			cells = append(cells, cell{depth: depth, app: app})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), s.workers, func(i int) (Table7Row, error) {
+		c := cells[i]
+		res, err := s.Evaluate(c.app, core.Config{Depth: c.depth}, stats.Options{})
+		if err != nil {
+			return Table7Row{}, err
+		}
+		return Table7Row{
+			App:      c.app,
+			Depth:    c.depth,
+			Ratio:    res.Memory.Ratio(),
+			Overhead: res.Memory.Overhead(c.depth, Table7BlockBytes),
+		}, nil
+	})
 }

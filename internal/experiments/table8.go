@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 )
@@ -35,14 +36,17 @@ type Table8Cell struct {
 
 // Table8 reproduces Table 8: dsmc's prediction accuracy for specific
 // transitions after 4, 80 and 320 iterations (filterless, MHR depth 1).
+// The three run lengths are independent evaluations over the shared
+// dsmc trace, sharded over the worker pool.
 func Table8(s *Suite) ([]Table8Cell, error) {
-	var cells []Table8Cell
-	for _, iters := range Table8Iterations {
+	groups, err := parallel.Map(len(Table8Iterations), s.workers, func(i int) ([]Table8Cell, error) {
+		iters := Table8Iterations[i]
 		res, err := s.Evaluate("dsmc", core.Config{Depth: 1},
 			stats.Options{TrackArcs: true, MaxIterations: iters})
 		if err != nil {
 			return nil, err
 		}
+		cells := make([]Table8Cell, 0, len(Table8Transitions))
 		for _, arc := range Table8Transitions {
 			st, _ := res.ArcStatFor(arc)
 			cells = append(cells, Table8Cell{
@@ -52,8 +56,16 @@ func Table8(s *Suite) ([]Table8Cell, error) {
 				RefPct:     100 * st.RefShare,
 			})
 		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return cells, nil
+	var out []Table8Cell
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out, nil
 }
 
 // AdaptRow is one benchmark's time-to-adapt measurement (Section 6.2):
@@ -69,18 +81,18 @@ type AdaptRow struct {
 // and unstructured settle in tens of iterations, appbt and moldyn take
 // slightly longer, and dsmc needs hundreds.
 func TimeToAdapt(s *Suite, tolerance float64) ([]AdaptRow, error) {
-	var rows []AdaptRow
-	for _, app := range s.Apps() {
+	apps := s.Apps()
+	return parallel.Map(len(apps), s.workers, func(i int) (AdaptRow, error) {
+		app := apps[i]
 		res, err := s.Evaluate(app, core.Config{Depth: 1}, stats.Options{})
 		if err != nil {
-			return nil, err
+			return AdaptRow{}, err
 		}
-		rows = append(rows, AdaptRow{
+		return AdaptRow{
 			App:             app,
 			SteadyIteration: res.SteadyStateIteration(tolerance),
 			Iterations:      len(res.PerIter),
 			FinalAccuracy:   100 * res.Overall.Accuracy(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 )
 
@@ -42,27 +43,30 @@ func Variants(s *Suite) ([]VariantRow, error) {
 	}{
 		{1, false}, {2, false}, {4, false}, {8, false}, {1, true},
 	}
-	var rows []VariantRow
+	type cell struct {
+		app string
+		vc  int
+	}
+	var cells []cell
 	for _, app := range s.Apps() {
-		tr, err := s.Trace(app)
-		if err != nil {
-			return nil, err
-		}
-		for _, vc := range configs {
-			cfg := core.MacroConfig{
-				Base:                  core.Config{Depth: 1},
-				BlockGroup:            vc.group,
-				BlockBytes:            blockBytes,
-				SenderAgnosticHistory: vc.senderAgnostic,
-			}
-			row, err := evalVariant(tr, app, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+		for vc := range configs {
+			cells = append(cells, cell{app: app, vc: vc})
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(cells), s.workers, func(i int) (VariantRow, error) {
+		c := cells[i]
+		tr, err := s.Trace(c.app)
+		if err != nil {
+			return VariantRow{}, err
+		}
+		vc := configs[c.vc]
+		return evalVariant(tr, c.app, core.MacroConfig{
+			Base:                  core.Config{Depth: 1},
+			BlockGroup:            vc.group,
+			BlockBytes:            blockBytes,
+			SenderAgnosticHistory: vc.senderAgnostic,
+		})
+	})
 }
 
 // evalVariant runs one MacroPredictor per node and side over a trace.
@@ -117,16 +121,15 @@ type PApVsPAgRow struct {
 // sharers costs accuracy — the quantitative justification for the
 // paper's per-block PHT choice.
 func PApVsPAg(s *Suite, depth int) ([]PApVsPAgRow, error) {
-	for _, appName := range s.Apps() {
-		if _, err := s.Trace(appName); err != nil {
-			return nil, err
-		}
+	if err := s.Prefetch(); err != nil {
+		return nil, err
 	}
-	var rows []PApVsPAgRow
-	for _, appName := range s.Apps() {
+	apps := s.Apps()
+	return parallel.Map(len(apps), s.workers, func(i int) (PApVsPAgRow, error) {
+		appName := apps[i]
 		tr, err := s.Trace(appName)
 		if err != nil {
-			return nil, err
+			return PApVsPAgRow{}, err
 		}
 		row := PApVsPAgRow{App: appName, Depth: depth}
 
@@ -135,11 +138,11 @@ func PApVsPAg(s *Suite, depth int) ([]PApVsPAgRow, error) {
 		for i := range paps {
 			paps[i], err = core.New(core.Config{Depth: depth})
 			if err != nil {
-				return nil, err
+				return PApVsPAgRow{}, err
 			}
 			pags[i], err = core.NewPAg(core.Config{Depth: depth})
 			if err != nil {
-				return nil, err
+				return PApVsPAgRow{}, err
 			}
 		}
 		var total, papHits, pagHits uint64
@@ -161,7 +164,6 @@ func PApVsPAg(s *Suite, depth int) ([]PApVsPAgRow, error) {
 			row.PApPHT += paps[i].PHTEntries()
 			row.PAgPHT += pags[i].PHTEntries()
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -1,0 +1,110 @@
+// Package parallel is the repository's sanctioned worker-pool
+// primitive: a bounded, deterministic fan-out over an integer index
+// space.
+//
+// Every experiment driver that shards work — table cells, figure
+// panels, sweep points, chaos seeds — goes through ForEach or Map so
+// that parallelism can never change results. The contract that makes
+// that true:
+//
+//   - Work items are identified by index, never by map iteration or
+//     channel arrival order. Workers race only over *which* goroutine
+//     runs an index, not over where its result lands: slot i of the
+//     output belongs to index i alone.
+//   - fn must be self-contained: it may not mutate state shared with
+//     other indices. Each experiment cell builds its own machines and
+//     predictors, so this falls out naturally.
+//   - Error selection is deterministic: the error reported is the one
+//     from the lowest failing index, regardless of completion order.
+//
+// Under these rules ForEach(n, 1, fn) and ForEach(n, w, fn) are
+// observationally identical for every w, which is what the
+// byte-identical-output regression tests pin.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default pool width: one worker per available
+// CPU. The cmd binaries use it as the -workers flag default.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Clamp normalizes a worker count: anything below 1 becomes 1 (the
+// serial path), and the pool is never wider than the number of work
+// items it will be given.
+func Clamp(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// concurrent goroutines and returns the error of the lowest failing
+// index (nil if every index succeeded). workers <= 1 runs serially on
+// the calling goroutine. Indices are claimed from a shared atomic
+// cursor, so the pool stays busy even when item costs are skewed;
+// every index runs exactly once regardless of failures elsewhere.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers = Clamp(workers, n); workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines and returns the results in index order. On error the
+// slice is nil and the error is the lowest failing index's, matching
+// ForEach.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

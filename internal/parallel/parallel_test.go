@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom-3")
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(100, workers, func(i int) error {
+			switch i {
+			case 3:
+				return want
+			case 50, 99:
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if err != want && (err == nil || err.Error() != "boom-3") {
+			t.Fatalf("workers=%d: got %v, want boom-3", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsAllIndicesDespiteErrors(t *testing.T) {
+	const n = 64
+	var ran atomic.Int32
+	_ = ForEach(n, 8, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return errors.New("even")
+		}
+		return nil
+	})
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d indices", got, n)
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 12} {
+		got, err := Map(257, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	got, err := Map(10, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("late failure")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", got, err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 10, 1}, {-5, 10, 1}, {4, 2, 2}, {4, 100, 4}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

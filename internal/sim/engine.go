@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -31,24 +30,64 @@ type item struct {
 	fn  Event
 }
 
-// eventHeap implements container/heap ordered by (time, seq).
+// eventHeap is a binary min-heap ordered by (time, seq). It is
+// hand-inlined rather than built on container/heap: the standard
+// interface forces every Push/Pop through an `any` box, which
+// allocates per scheduled event and dominated Engine.At/Step profiles.
+// The typed version runs the same sift algorithm with zero
+// allocations beyond slice growth.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders events by firing time, FIFO within an instant.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push appends it and restores the heap property by sifting up.
+func (h *eventHeap) push(it item) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes and returns the minimum element, sifting the displaced
+// tail element down.
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the event closure for the GC
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top
 }
 
 // Perturb is a bounded scheduling perturbation: given the nominal
@@ -110,7 +149,7 @@ func (e *Engine) At(at Time, fn Event) {
 	if e.perturb != nil {
 		at += e.perturb(at, e.seq)
 	}
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	e.queue.push(item{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run delay nanoseconds from now.
@@ -126,7 +165,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	e.now = it.at
 	e.fired++
 	it.fn()

@@ -121,13 +121,18 @@ func Evaluate(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 		preds[i] = p
 	}
 	// lastType tracks the previous message type per (node, side, block)
-	// for arc accounting.
-	var lastType []map[coherence.Addr]coherence.MsgType
+	// for arc accounting. One flat map keyed by (predictor slot, block)
+	// replaces the earlier per-slot map slice: the hot loop does a
+	// single hash probe instead of a slice load plus a probe into one
+	// of 2*nodes separately grown tables, and the per-slot map headers
+	// disappear.
+	type slotAddr struct {
+		slot int32
+		addr coherence.Addr
+	}
+	var lastType map[slotAddr]coherence.MsgType
 	if opts.TrackArcs {
-		lastType = make([]map[coherence.Addr]coherence.MsgType, 2*tr.Nodes)
-		for i := range lastType {
-			lastType[i] = make(map[coherence.Addr]coherence.MsgType)
-		}
+		lastType = make(map[slotAddr]coherence.MsgType, 1024)
 	}
 
 	for _, rec := range tr.Records {
@@ -154,7 +159,8 @@ func Evaluate(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 		res.PerIter[rec.Iter].add(correct)
 
 		if opts.TrackArcs {
-			if from, ok := lastType[slot][rec.Addr]; ok {
+			key := slotAddr{slot: int32(slot), addr: rec.Addr}
+			if from, ok := lastType[key]; ok {
 				arc := Arc{Side: rec.Side, From: from, To: rec.Type}
 				c := res.Arcs[arc]
 				if c == nil {
@@ -163,7 +169,7 @@ func Evaluate(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 				}
 				c.add(correct)
 			}
-			lastType[slot][rec.Addr] = rec.Type
+			lastType[key] = rec.Type
 		}
 	}
 
