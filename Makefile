@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke chaos examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos examples clean
 
 check: lint build race
 
@@ -40,8 +40,29 @@ bench-json:
 
 # A cheap CI guard: the benchmark harness itself must stay runnable.
 # Small scale, one iteration each — measures nothing, catches rot.
+# Points the harness at the shared trace cache when one was warmed.
+TRACE_CACHE ?= .trace-cache
 bench-smoke:
-	COSMOS_BENCH_SCALE=small $(GO) test -bench . -benchtime 1x -run '^$$' .
+	COSMOS_BENCH_SCALE=small COSMOS_TRACE_CACHE=$(TRACE_CACHE) $(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Simulate and cache every benchmark trace once (small scale for CI);
+# subsequent tables/bench runs pointed at TRACE_CACHE load instead of
+# simulating.
+warm-cache:
+	$(GO) run ./cmd/cosmos-tables -scale small -trace-cache $(TRACE_CACHE) -warm-cache
+
+# The CI performance gate: capture a small-scale snapshot against the
+# warm cache and compare it with the committed baseline. The threshold
+# is deliberately generous (shared CI runners are noisy and slower than
+# the reference container); it exists to catch order-of-magnitude
+# regressions — an accidental serial fallback, a cache that stopped
+# hitting — not single-digit drift.
+BENCH_GATE_THRESHOLD ?= 300
+bench-gate:
+	rm -f /tmp/bench-gate.json
+	COSMOS_BENCH_SCALE=small $(GO) run ./cmd/cosmos-bench -label gate -trace-cache $(TRACE_CACHE) \
+		-bench 'Table5|Table6|EvaluateThroughput' -o /tmp/bench-gate.json
+	$(GO) run ./cmd/cosmos-bench -compare -threshold $(BENCH_GATE_THRESHOLD) BENCH_SMOKE_BASELINE.json /tmp/bench-gate.json
 
 # A short chaos sweep with the runtime invariant monitor on: 25 seeds
 # of random fault plans and delivery perturbation over the unmodified

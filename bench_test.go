@@ -46,12 +46,16 @@ var (
 )
 
 // fullSuite lazily builds the shared full-scale suite; the first
-// benchmark that needs a trace pays its simulation cost exactly once.
+// benchmark that needs a trace pays its simulation cost exactly once
+// per process — or loads it from COSMOS_TRACE_CACHE when set (the CI
+// bench-smoke step warms the cache once per job and points every
+// benchmark run at it).
 func fullSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
 		cfg := experiments.DefaultConfig()
 		cfg.Scale = benchScale(b, workload.ScaleFull)
+		cfg.TraceCache = os.Getenv("COSMOS_TRACE_CACHE")
 		suite = experiments.NewSuite(cfg)
 	})
 	return suite
@@ -371,6 +375,26 @@ func BenchmarkEvaluateThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stats.Evaluate(tr, core.Config{Depth: 2}, stats.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "records")
+}
+
+// BenchmarkEvaluateThroughputSharded is the same evaluation through
+// the slot-sharded path at 8 requested workers (the pool self-caps at
+// GOMAXPROCS). Results are identical to the serial path; the
+// equivalence tests pin that, this measures the wall-clock difference.
+func BenchmarkEvaluateThroughputSharded(b *testing.B) {
+	s := fullSuite(b)
+	tr, err := s.Trace("moldyn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Partition() // build the memoized view outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Evaluate(tr, core.Config{Depth: 2}, stats.Options{Workers: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}

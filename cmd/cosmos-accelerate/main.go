@@ -32,6 +32,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/speculate"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
 
@@ -51,6 +52,7 @@ func run() error {
 		iters   = flag.Int("iters", 40, "micro-workload iterations")
 		blocks  = flag.Int("blocks", 32, "micro-workload shared blocks")
 		inv     = flag.Bool("invariants", false, "simulate with the runtime coherence invariant monitor")
+		tcache  = flag.String("trace-cache", "", "trace cache directory; benchmark apps also report offline prediction accuracy from the cached trace")
 	)
 	ff := faults.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,7 +94,32 @@ func run() error {
 	fmt.Printf("%-22s %14s %14d\n", "actions taken", "-", cmp.Accelerated.Speculations)
 	fmt.Printf("\nmessage reduction %.1f%%, runtime reduction %.1f%%\n",
 		100*cmp.MessageReduction(), 100*cmp.TimeReduction())
+
+	// For the five benchmarks, also report the oracle's offline
+	// prediction accuracy over the captured (and, with -trace-cache,
+	// cached) baseline trace — context for how much headroom the
+	// protocol actions had.
+	if isBenchmark(*appName) {
+		sc, _ := experiments.ScaleFor(*scale)
+		ecfg := experiments.Config{Scale: sc, Machine: mcfg, Stache: stache.DefaultOptions(), TraceCache: *tcache}
+		res, err := experiments.NewSuite(ecfg).Evaluate(*appName, pcfg, stats.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offline prediction accuracy on the baseline trace: %.1f%%\n",
+			100*res.Overall.Accuracy())
+	}
 	return nil
+}
+
+// isBenchmark reports whether name is one of the five paper benchmarks
+// (the only apps the trace cache and suite evaluation know).
+func isBenchmark(name string) bool {
+	switch name {
+	case "appbt", "barnes", "dsmc", "moldyn", "unstructured":
+		return true
+	}
+	return false
 }
 
 // buildApp returns a fresh-workload factory (the comparison runs the

@@ -7,12 +7,19 @@
 //	cosmos-bench -label optimized -o BENCH_20060102.json           # run + append
 //	cosmos-bench -label baseline -parse old.txt -o BENCH_....json  # parse a saved run
 //	cosmos-bench -bench 'Predictor|Engine' -benchtime 200ms ...    # subset, longer time
+//	cosmos-bench -trace-cache .trace-cache ...                     # benchmark against a warm trace cache
+//	cosmos-bench -compare old.json new.json                        # per-benchmark deltas + regression gate
 //
 // Each invocation appends one snapshot to the output file (created if
 // absent), preserving earlier snapshots — a before/after pair in one
 // file is the expected shape. The parser understands standard
 // `go test -bench` output: ns/op, B/op, allocs/op, and any custom
 // b.ReportMetric columns (events/sec, accuracy percentages, ...).
+//
+// -compare loads the latest snapshot from each file, matches
+// benchmarks by name, prints ns/op, B/op and allocs/op deltas, and
+// exits nonzero when any benchmark's ns/op regressed by more than
+// -threshold percent — the CI performance gate.
 package main
 
 import (
@@ -70,8 +77,18 @@ func run() error {
 		date      = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date stamp")
 		note      = flag.String("note", "", "free-text caveat recorded in the snapshot")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
+		tcache    = flag.String("trace-cache", "", "trace cache directory passed to the benchmark harness (COSMOS_TRACE_CACHE)")
+		doCompare = flag.Bool("compare", false, "compare the latest snapshots of two JSON files: cosmos-bench -compare old.json new.json")
+		threshold = flag.Float64("threshold", 10, "with -compare: max allowed ns/op regression in percent before exiting nonzero")
 	)
 	flag.Parse()
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two arguments: old.json new.json")
+		}
+		return compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+	}
 	if *label == "" || *out == "" {
 		return fmt.Errorf("-label and -o are required")
 	}
@@ -87,6 +104,9 @@ func run() error {
 		cmd := exec.Command("go", "test", "-run", "^$",
 			"-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
 		cmd.Stderr = os.Stderr
+		if *tcache != "" {
+			cmd.Env = append(os.Environ(), "COSMOS_TRACE_CACHE="+*tcache)
+		}
 		raw, err = cmd.Output()
 		if err != nil {
 			return fmt.Errorf("go test -bench: %w\n%s", err, raw)

@@ -12,6 +12,8 @@
 //	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep
 //	cosmos-tables -scale medium        # small | medium | full
 //	cosmos-tables -workers 8           # worker pool size (default: all CPUs; 1 = serial)
+//	cosmos-tables -trace-cache dir     # reuse simulated traces across runs (content-addressed)
+//	cosmos-tables -trace-cache dir -warm-cache   # populate the cache and exit
 //	cosmos-tables -fault-drop 0.01     # simulate on a lossy wire (with -fault-dup, -fault-jitter, -fault-seed)
 //	cosmos-tables -cpuprofile cpu.out  # write pprof profiles (with -memprofile)
 //
@@ -62,6 +64,8 @@ func run(w io.Writer, args []string) error {
 		scale   = fs.String("scale", "full", "workload scale: small | medium | full")
 		inv     = fs.Bool("invariants", false, "run every simulation with the runtime coherence invariant monitor")
 		workers = fs.Int("workers", parallel.DefaultWorkers(), "worker pool size for independent experiment cells (1 = serial)")
+		tcache  = fs.String("trace-cache", "", "directory for the content-addressed trace cache (reuse simulated traces across runs)")
+		warm    = fs.Bool("warm-cache", false, "simulate and cache every benchmark trace, then exit (requires -trace-cache)")
 	)
 	ff := faults.AddFlags(fs)
 	pf := prof.AddFlags(fs)
@@ -99,7 +103,17 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("unknown extra %q (want one of %s)", *extra, strings.Join(extraNames, " | "))
 	}
 	cfg.Scale = sc
+	cfg.TraceCache = *tcache
 	suite := experiments.NewSuite(cfg)
+
+	if *warm {
+		if *tcache == "" {
+			return fmt.Errorf("-warm-cache requires -trace-cache")
+		}
+		// Prefetch simulates (or cache-loads) every benchmark; Trace
+		// stores each fresh capture, so this leaves the cache complete.
+		return suite.Prefetch()
+	}
 
 	// The table drivers share the five benchmark traces; simulate them
 	// concurrently up front when more than one consumer will need them.

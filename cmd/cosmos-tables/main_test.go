@@ -69,6 +69,36 @@ func TestOutputWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestOutputCacheInvariance is the trace cache's end-to-end
+// byte-identity check: rendering with no cache, with a cold cache
+// (which simulates and stores), and with the now-warm cache (which
+// loads instead of simulating) must produce exactly the same bytes.
+func TestOutputCacheInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full small-scale evaluation three times")
+	}
+	dir := t.TempDir()
+	render := func(args ...string) []byte {
+		var buf bytes.Buffer
+		if err := run(&buf, append([]string{"-scale", "small", "-workers", "8"}, args...)); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return buf.Bytes()
+	}
+	uncached := render()
+	if len(uncached) == 0 {
+		t.Fatal("empty output")
+	}
+	cold := render("-trace-cache", dir)
+	warm := render("-trace-cache", dir)
+	if !bytes.Equal(uncached, cold) {
+		t.Errorf("uncached and cold-cache outputs differ at %s", firstDiff(uncached, cold))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("cold and warm cache outputs differ at %s", firstDiff(cold, warm))
+	}
+}
+
 // firstDiff locates the first divergent line pair for the failure
 // message.
 func firstDiff(a, b []byte) string {

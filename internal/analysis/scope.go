@@ -23,6 +23,13 @@ var simCorePackages = []string{
 	// order; wall-clock or global-rand creep here would let scheduling
 	// leak into every experiment that fans out over it.
 	"internal/parallel",
+	// Trace capture/encoding, the on-disk trace cache, and slot-sharded
+	// evaluation all promise byte-identical results across runs, pool
+	// widths, and cold/warm caches — the same determinism contract the
+	// simulation core carries, so the same analyzers apply.
+	"internal/trace",
+	"internal/tracecache",
+	"internal/stats",
 }
 
 // InSimulationCore reports whether the package is part of the

@@ -168,6 +168,18 @@ func (t *phtTable) insert(key uint64, e phtEntry) {
 	t.n++
 }
 
+// reset erases the table's contents while keeping its allocated
+// arrays, so a pooled predictor's next evaluation reuses the capacity
+// the previous one grew (entries need no wipe: insert overwrites them).
+func (t *phtTable) reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+	}
+	t.n = 0
+	t.hasZero = false
+	t.zero = phtEntry{}
+}
+
 // grow doubles the table (initially 8 slots) and rehashes.
 func (t *phtTable) grow() {
 	newCap := 8
@@ -244,6 +256,36 @@ func (p *Predictor) block(addr coherence.Addr) *blockState {
 	return &p.slab[i]
 }
 
+// Reset returns the predictor to its freshly-constructed state for
+// cfg, as if New(cfg) had been called — but retains every allocation
+// the previous use grew: the address index map's buckets, the slab's
+// capacity, and each slab slot's PHT arrays. The evaluator's per-worker
+// predictor pool depends on this: re-evaluating similar traces reaches
+// a steady state with no per-evaluation allocation at all. A reset
+// predictor is observationally identical to a new one; the sharded
+// evaluation equivalence tests pin that.
+func (p *Predictor) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	p.cfg = cfg
+	p.mhrMask = (uint64(1) << (16 * cfg.Depth)) - 1
+	if p.index == nil {
+		p.index = make(map[coherence.Addr]int32)
+	} else {
+		clear(p.index)
+	}
+	for i := range p.slab {
+		p.slab[i].mhr = 0
+		p.slab[i].seen = 0
+		p.slab[i].pht.reset()
+	}
+	p.slab = p.slab[:0]
+	p.free = p.free[:0]
+	p.phtEntries = 0
+	return nil
+}
+
 // MustNew is New for constant configurations; it panics on error.
 func MustNew(cfg Config) *Predictor {
 	p, err := New(cfg)
@@ -287,12 +329,11 @@ func (p *Predictor) Update(addr coherence.Addr, actual coherence.Tuple) {
 // predictor performs on every message reception: it returns what
 // Cosmos would have predicted for this arrival, whether a prediction
 // existed, and whether it was correct, then trains on the actual
-// tuple.
+// tuple. It is equivalent to Predict followed by Update but probes the
+// address index and the PHT once instead of twice — the trace
+// evaluators spend most of their time here.
 func (p *Predictor) Observe(addr coherence.Addr, actual coherence.Tuple) (pred coherence.Tuple, predicted, correct bool) {
-	pred, predicted = p.Predict(addr)
-	correct = predicted && pred == actual
-	p.Update(addr, actual)
-	return pred, predicted, correct
+	return p.observeIndexed(addr, actual, actual)
 }
 
 // History returns the tuples currently in the block's MHR, oldest

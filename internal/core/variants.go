@@ -110,12 +110,10 @@ func (m *MacroPredictor) Update(addr coherence.Addr, actual coherence.Tuple) {
 	m.p.updateIndexed(m.key(addr), m.strip(actual), actual)
 }
 
-// Observe is the combined predict-then-update step.
+// Observe is the combined predict-then-update step, fused into one
+// index probe like the base predictor's.
 func (m *MacroPredictor) Observe(addr coherence.Addr, actual coherence.Tuple) (pred coherence.Tuple, predicted, correct bool) {
-	pred, predicted = m.Predict(addr)
-	correct = predicted && pred == actual
-	m.Update(addr, actual)
-	return pred, predicted, correct
+	return m.p.observeIndexed(m.key(addr), m.strip(actual), actual)
 }
 
 // MHREntries returns the (macro)block count tracked.
@@ -132,6 +130,45 @@ func (p *Predictor) predictFull(addr coherence.Addr) (coherence.Tuple, bool) {
 	return p.Predict(addr)
 }
 
+// ensureBlock returns the block's state, allocating a slab slot on
+// first reference. A slot reclaimed by Reset keeps its PHT arrays, so
+// the length-extension branch revives that capacity instead of
+// discarding it with a zero blockState.
+func (p *Predictor) ensureBlock(addr coherence.Addr) *blockState {
+	if bs := p.block(addr); bs != nil {
+		return bs
+	}
+	var slot int32
+	switch {
+	case len(p.free) > 0:
+		slot = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	case len(p.slab) < cap(p.slab):
+		slot = int32(len(p.slab))
+		p.slab = p.slab[:slot+1]
+	default:
+		slot = int32(len(p.slab))
+		p.slab = append(p.slab, blockState{})
+	}
+	p.index[addr] = slot
+	return &p.slab[slot]
+}
+
+// train installs (or filter-adjusts) e's prediction toward payload,
+// the Section 3.4 update rule shared by every entry point.
+func (p *Predictor) train(e *phtEntry, payload coherence.Tuple) {
+	switch {
+	case e.pred == payload:
+		if e.counter < p.cfg.FilterMax {
+			e.counter++
+		}
+	case e.counter > 0:
+		e.counter--
+	default:
+		e.pred = payload
+	}
+}
+
 // updateIndexed is Update with distinct index and payload tuples: the
 // history register shifts in indexTuple while the PHT entry trained for
 // the current history predicts payload.
@@ -140,37 +177,43 @@ func (p *Predictor) updateIndexed(addr coherence.Addr, indexTuple, payload coher
 	if err != nil {
 		panic(err)
 	}
-	bs := p.block(addr)
-	if bs == nil {
-		var slot int32
-		if n := len(p.free); n > 0 {
-			slot = p.free[n-1]
-			p.free = p.free[:n-1]
-		} else {
-			slot = int32(len(p.slab))
-			p.slab = append(p.slab, blockState{})
-		}
-		p.index[addr] = slot
-		bs = &p.slab[slot]
-	}
+	bs := p.ensureBlock(addr)
 	if bs.seen >= uint64(p.cfg.Depth) {
-		e := bs.pht.find(bs.mhr)
-		switch {
-		case e == nil:
+		if e := bs.pht.find(bs.mhr); e != nil {
+			p.train(e, payload)
+		} else {
 			bs.pht.insert(bs.mhr, phtEntry{pred: payload})
 			p.phtEntries++
-		case e.pred == payload:
-			if e.counter < p.cfg.FilterMax {
-				e.counter++
-			}
-		case e.counter > 0:
-			e.counter--
-		default:
-			e.pred = payload
 		}
 	}
 	bs.mhr = (bs.mhr<<16 | uint64(bits)) & p.mhrMask
 	bs.seen++
+}
+
+// observeIndexed fuses Predict and updateIndexed into a single index
+// probe and a single PHT probe per message: the entry consulted for
+// the prediction is the same entry the update rule trains, so finding
+// it once suffices. Equivalence with the two-step path is pinned by
+// the predictor unit tests and the sharded-evaluation tests.
+func (p *Predictor) observeIndexed(addr coherence.Addr, indexTuple, payload coherence.Tuple) (pred coherence.Tuple, predicted, correct bool) {
+	bits, err := tupleBits(indexTuple)
+	if err != nil {
+		panic(err)
+	}
+	bs := p.ensureBlock(addr)
+	if bs.seen >= uint64(p.cfg.Depth) {
+		if e := bs.pht.find(bs.mhr); e != nil {
+			pred, predicted = e.pred, true
+			correct = pred == payload
+			p.train(e, payload)
+		} else {
+			bs.pht.insert(bs.mhr, phtEntry{pred: payload})
+			p.phtEntries++
+		}
+	}
+	bs.mhr = (bs.mhr<<16 | uint64(bits)) & p.mhrMask
+	bs.seen++
+	return pred, predicted, correct
 }
 
 // PreallocStats reports, for a predictor, how a LimitLESS-style PHT

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -20,6 +22,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/stats"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/tracecache"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
 
@@ -37,6 +40,26 @@ type Config struct {
 	// over. 0 or 1 runs serially. Every width produces byte-identical
 	// results; the pool changes only wall-clock time.
 	Workers int
+	// TraceCache, when non-empty, is a directory where captured traces
+	// are persisted in CTRC form, keyed by a content hash of everything
+	// that determines the trace (app, scale, machine and protocol
+	// configuration, trace-format version). A hit skips the simulation
+	// entirely; determinism makes the decoded trace byte-identical to a
+	// fresh capture. Workers is deliberately NOT part of the key: pool
+	// width never changes results.
+	TraceCache string
+}
+
+// traceKey derives the cache key for one benchmark under this
+// configuration. The key hashes a %#v rendering of the inputs — all
+// flat structs, no maps, so the rendering is deterministic — plus the
+// CTRC format version, so codec bumps invalidate stale entries instead
+// of tripping the version check.
+func (c Config) traceKey(app string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ctrc-v%d|app=%s|scale=%d|machine=%#v|stache=%#v",
+		trace.Version, app, c.Scale, c.Machine, c.Stache)
+	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
 // workerCount normalizes Workers for the drivers.
@@ -157,16 +180,41 @@ func (s *Suite) Trace(name string) (*trace.Trace, error) {
 			e.err = err
 			return
 		}
+		cache := tracecache.Cache{Dir: s.cfg.TraceCache}
+		key := s.cfg.traceKey(name)
+		if tr, ok, err := cache.Load(key); err != nil {
+			// A corrupted or truncated entry fails the run loudly
+			// instead of silently re-simulating: see tracecache.Load.
+			e.err = err
+			return
+		} else if ok {
+			if tr.App != name || tr.Nodes != s.cfg.Machine.Nodes {
+				e.err = fmt.Errorf("experiments: trace cache entry %s holds %s/%d nodes, want %s/%d (key collision? delete the cache dir)",
+					key, tr.App, tr.Nodes, name, s.cfg.Machine.Nodes)
+				return
+			}
+			e.tr = tr
+			return
+		}
 		e.tr, e.err = Run(app, s.cfg)
+		if e.err == nil {
+			e.err = cache.Store(key, e.tr)
+		}
 	})
 	return e.tr, e.err
 }
 
 // Evaluate runs a predictor configuration over a benchmark's trace.
+// The suite's worker pool width is threaded into the evaluation so
+// table drivers get slot-sharded evaluation for free; callers that set
+// opts.Workers explicitly keep their value.
 func (s *Suite) Evaluate(name string, pcfg core.Config, opts stats.Options) (*stats.Result, error) {
 	tr, err := s.Trace(name)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.workers
 	}
 	return stats.Evaluate(tr, pcfg, opts)
 }

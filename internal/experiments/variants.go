@@ -65,40 +65,67 @@ func Variants(s *Suite) ([]VariantRow, error) {
 			BlockGroup:            vc.group,
 			BlockBytes:            blockBytes,
 			SenderAgnosticHistory: vc.senderAgnostic,
-		})
+		}, s.workers)
 	})
 }
 
-// evalVariant runs one MacroPredictor per node and side over a trace.
-func evalVariant(tr *trace.Trace, app string, cfg core.MacroConfig) (VariantRow, error) {
-	preds := make([]*core.MacroPredictor, 2*tr.Nodes)
-	for i := range preds {
+// slotShard runs fn once per (node, side) slot of the trace, fanned
+// over the worker pool, and returns the per-slot partials in fixed
+// slot order. Each fn call sees only its own slot's records, in
+// original arrival order — exactly the state any per-slot predictor
+// would see in the serial arrival-order walk (see trace.Partition), so
+// order-insensitive merges of the partials equal the serial totals.
+func slotShard[T any](tr *trace.Trace, workers int, fn func(recs []trace.Record) (T, error)) ([]T, error) {
+	part := tr.Partition()
+	slots := part.Slots()
+	if s := 2 * tr.Nodes; slots < s {
+		slots = s // empty high slots still get a (zero-record) cell
+	}
+	return parallel.Map(slots, workers, func(s int) (T, error) {
+		return fn(part.Records(s))
+	})
+}
+
+// evalVariant runs one MacroPredictor per node and side over a trace,
+// slot-sharded.
+func evalVariant(tr *trace.Trace, app string, cfg core.MacroConfig, workers int) (VariantRow, error) {
+	type partial struct {
+		total, hits, mhr, pht uint64
+	}
+	parts, err := slotShard(tr, workers, func(recs []trace.Record) (partial, error) {
 		p, err := core.NewMacro(cfg)
 		if err != nil {
-			return VariantRow{}, err
+			return partial{}, err
 		}
-		preds[i] = p
-	}
-	var total, hits uint64
-	for _, rec := range tr.Records {
-		slot := int(rec.Node)*2 + int(rec.Side)
-		_, _, correct := preds[slot].Observe(rec.Addr, rec.Tuple())
-		total++
-		if correct {
-			hits++
+		var sp partial
+		for _, rec := range recs {
+			_, _, correct := p.Observe(rec.Addr, rec.Tuple())
+			sp.total++
+			if correct {
+				sp.hits++
+			}
 		}
+		sp.mhr = p.MHREntries()
+		sp.pht = p.PHTEntries()
+		return sp, nil
+	})
+	if err != nil {
+		return VariantRow{}, err
 	}
 	row := VariantRow{
 		App:            app,
 		Group:          cfg.BlockGroup,
 		SenderAgnostic: cfg.SenderAgnosticHistory,
 	}
+	var total, hits uint64
+	for _, sp := range parts {
+		total += sp.total
+		hits += sp.hits
+		row.MHREntries += sp.mhr
+		row.PHTEntries += sp.pht
+	}
 	if total > 0 {
 		row.Overall = 100 * float64(hits) / float64(total)
-	}
-	for _, p := range preds {
-		row.MHREntries += p.MHREntries()
-		row.PHTEntries += p.PHTEntries()
 	}
 	return row, nil
 }
@@ -133,36 +160,49 @@ func PApVsPAg(s *Suite, depth int) ([]PApVsPAgRow, error) {
 		}
 		row := PApVsPAgRow{App: appName, Depth: depth}
 
-		paps := make([]*core.Predictor, 2*tr.Nodes)
-		pags := make([]*core.PAg, 2*tr.Nodes)
-		for i := range paps {
-			paps[i], err = core.New(core.Config{Depth: depth})
+		// Each slot drives its own PAp and PAg instance; PAg shares its
+		// PHT across blocks only *within* one predictor, so slot
+		// sharding stays exact for it too.
+		type partial struct {
+			total, papHits, pagHits, papPHT, pagPHT uint64
+		}
+		parts, err := slotShard(tr, s.workers, func(recs []trace.Record) (partial, error) {
+			pap, err := core.New(core.Config{Depth: depth})
 			if err != nil {
-				return PApVsPAgRow{}, err
+				return partial{}, err
 			}
-			pags[i], err = core.NewPAg(core.Config{Depth: depth})
+			pag, err := core.NewPAg(core.Config{Depth: depth})
 			if err != nil {
-				return PApVsPAgRow{}, err
+				return partial{}, err
 			}
+			var sp partial
+			for _, rec := range recs {
+				sp.total++
+				if _, _, ok := pap.Observe(rec.Addr, rec.Tuple()); ok {
+					sp.papHits++
+				}
+				if _, _, ok := pag.Observe(rec.Addr, rec.Tuple()); ok {
+					sp.pagHits++
+				}
+			}
+			sp.papPHT = pap.PHTEntries()
+			sp.pagPHT = pag.PHTEntries()
+			return sp, nil
+		})
+		if err != nil {
+			return PApVsPAgRow{}, err
 		}
 		var total, papHits, pagHits uint64
-		for _, rec := range tr.Records {
-			slot := int(rec.Node)*2 + int(rec.Side)
-			total++
-			if _, _, ok := paps[slot].Observe(rec.Addr, rec.Tuple()); ok {
-				papHits++
-			}
-			if _, _, ok := pags[slot].Observe(rec.Addr, rec.Tuple()); ok {
-				pagHits++
-			}
+		for _, sp := range parts {
+			total += sp.total
+			papHits += sp.papHits
+			pagHits += sp.pagHits
+			row.PApPHT += sp.papPHT
+			row.PAgPHT += sp.pagPHT
 		}
 		if total > 0 {
 			row.PApOverall = 100 * float64(papHits) / float64(total)
 			row.PAgOverall = 100 * float64(pagHits) / float64(total)
-		}
-		for i := range paps {
-			row.PApPHT += paps[i].PHTEntries()
-			row.PAgPHT += pags[i].PHTEntries()
 		}
 		return row, nil
 	})

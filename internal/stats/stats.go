@@ -16,6 +16,7 @@ import (
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/trace"
 )
 
@@ -96,39 +97,57 @@ type Options struct {
 	// history and patterns are discarded. Only meaningful on traces
 	// from bounded-cache runs.
 	ForgetOnWriteback bool
+	// Workers > 1 fans the trace's per-(node, side) slot streams over
+	// a bounded worker pool (slot sharding): predictor state never
+	// crosses a slot boundary, so each stream evaluates independently
+	// and the counters merge in fixed slot order, giving results
+	// identical to the serial arrival-order walk for every width.
+	// 0 or 1 runs the serial reference path.
+	Workers int
 }
 
-// Evaluate runs one Cosmos predictor per node and side over the trace,
-// in arrival order, and aggregates the paper's metrics. The predictor
-// placement follows Section 3.2: "We allocate a Cosmos predictor for
-// every cache or directory in the machine."
+// Evaluate runs one Cosmos predictor per node and side over the trace
+// and aggregates the paper's metrics. The predictor placement follows
+// Section 3.2: "We allocate a Cosmos predictor for every cache or
+// directory in the machine." With opts.Workers > 1 the evaluation is
+// slot-sharded (see Options.Workers); the two paths produce identical
+// results, which the equivalence regression tests pin.
 func Evaluate(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Workers > 1 {
+		return evaluateSharded(tr, cfg, opts)
+	}
+	return evaluateSerial(tr, cfg, opts)
+}
+
+// slotAddr keys per-(predictor slot, block) arc state. One flat map
+// keyed by (slot, block) replaces the earlier per-slot map slice: the
+// hot loop does a single hash probe instead of a slice load plus a
+// probe into one of 2*nodes separately grown tables.
+type slotAddr struct {
+	slot int32
+	addr coherence.Addr
+}
+
+// evaluateSerial is the reference implementation: one pass over the
+// records in arrival order.
+func evaluateSerial(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 	res := &Result{App: tr.App, Config: cfg}
 	if opts.TrackArcs {
 		res.Arcs = make(map[Arc]*Counter)
 	}
 
-	// One predictor per (node, side).
+	// One predictor per (node, side), borrowed from the shared pool
+	// (a reset predictor is state-identical to a fresh one).
 	preds := make([]*core.Predictor, 2*tr.Nodes)
 	for i := range preds {
-		p, err := core.New(cfg)
+		p, err := borrowPredictor(cfg)
 		if err != nil {
 			return nil, err
 		}
 		preds[i] = p
-	}
-	// lastType tracks the previous message type per (node, side, block)
-	// for arc accounting. One flat map keyed by (predictor slot, block)
-	// replaces the earlier per-slot map slice: the hot loop does a
-	// single hash probe instead of a slice load plus a probe into one
-	// of 2*nodes separately grown tables, and the per-slot map headers
-	// disappear.
-	type slotAddr struct {
-		slot int32
-		addr coherence.Addr
 	}
 	var lastType map[slotAddr]coherence.MsgType
 	if opts.TrackArcs {
@@ -179,6 +198,131 @@ func Evaluate(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 			res.CacheMemory.Add(p)
 		} else {
 			res.DirMemory.Add(p)
+		}
+		releasePredictor(p)
+	}
+	return res, nil
+}
+
+// slotPartial is one slot's share of a sharded evaluation: everything
+// the merge step needs, accumulated over that slot's sub-stream only.
+type slotPartial struct {
+	counter Counter
+	types   [coherence.NumMsgTypes]Counter
+	perIter []Counter
+	arcs    map[Arc]*Counter
+	memory  core.MemoryStats
+}
+
+// evaluateSharded fans the trace's slot streams over the worker pool
+// and merges the per-slot partials in fixed slot order. Exactness
+// rests on the slot-independence argument from trace.Partition: a
+// slot's predictor (and its arc state, keyed per block within the
+// slot) is driven only by that slot's records, in original relative
+// order, so each partial equals the serial walk's contribution from
+// that slot and the merged sums equal the serial totals.
+func evaluateSharded(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
+	part := tr.Partition()
+	slots := part.Slots()
+	if s := 2 * tr.Nodes; slots < s {
+		slots = s // empty high slots still contribute (zero) memory stats
+	}
+	partials, err := parallel.Map(slots, opts.Workers, func(s int) (slotPartial, error) {
+		var sp slotPartial
+		recs := part.Records(s)
+		side := trace.Side(s % 2)
+		p, err := borrowPredictor(cfg)
+		if err != nil {
+			return sp, err
+		}
+		var lastType map[coherence.Addr]coherence.MsgType
+		if opts.TrackArcs {
+			sp.arcs = make(map[Arc]*Counter)
+			lastType = make(map[coherence.Addr]coherence.MsgType, 64)
+		}
+		for _, rec := range recs {
+			if opts.MaxIterations > 0 && int(rec.Iter) >= opts.MaxIterations {
+				continue
+			}
+			_, _, correct := p.Observe(rec.Addr, rec.Tuple())
+			if opts.ForgetOnWriteback && side == trace.CacheSide && rec.Type == coherence.WritebackAck {
+				p.Forget(rec.Addr)
+			}
+			sp.counter.add(correct)
+			sp.types[rec.Type].add(correct)
+			for int(rec.Iter) >= len(sp.perIter) {
+				sp.perIter = append(sp.perIter, Counter{})
+			}
+			sp.perIter[rec.Iter].add(correct)
+			if opts.TrackArcs {
+				if from, ok := lastType[rec.Addr]; ok {
+					arc := Arc{Side: side, From: from, To: rec.Type}
+					c := sp.arcs[arc]
+					if c == nil {
+						c = &Counter{}
+						sp.arcs[arc] = c
+					}
+					c.add(correct)
+				}
+				lastType[rec.Addr] = rec.Type
+			}
+		}
+		sp.memory.MHREntries = p.MHREntries()
+		sp.memory.PHTEntries = p.PHTEntries()
+		releasePredictor(p)
+		return sp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{App: tr.App, Config: cfg}
+	if opts.TrackArcs {
+		res.Arcs = make(map[Arc]*Counter)
+	}
+	for s := range partials {
+		sp := &partials[s]
+		side := trace.Side(s % 2)
+		res.Overall.Total += sp.counter.Total
+		res.Overall.Hits += sp.counter.Hits
+		if side == trace.CacheSide {
+			res.Cache.Total += sp.counter.Total
+			res.Cache.Hits += sp.counter.Hits
+		} else {
+			res.Dir.Total += sp.counter.Total
+			res.Dir.Hits += sp.counter.Hits
+		}
+		for t := range sp.types {
+			res.Types[t].Total += sp.types[t].Total
+			res.Types[t].Hits += sp.types[t].Hits
+		}
+		for len(res.PerIter) < len(sp.perIter) {
+			res.PerIter = append(res.PerIter, Counter{})
+		}
+		for i := range sp.perIter {
+			res.PerIter[i].Total += sp.perIter[i].Total
+			res.PerIter[i].Hits += sp.perIter[i].Hits
+		}
+		// Counter totals are order-insensitive sums; walking slots in
+		// fixed order keeps the merge deterministic regardless, and the
+		// inner map range only accumulates into keyed counters.
+		for arc, c := range sp.arcs {
+			rc := res.Arcs[arc]
+			if rc == nil {
+				rc = &Counter{}
+				res.Arcs[arc] = rc
+			}
+			rc.Total += c.Total
+			rc.Hits += c.Hits
+		}
+		res.Memory.MHREntries += sp.memory.MHREntries
+		res.Memory.PHTEntries += sp.memory.PHTEntries
+		if side == trace.CacheSide {
+			res.CacheMemory.MHREntries += sp.memory.MHREntries
+			res.CacheMemory.PHTEntries += sp.memory.PHTEntries
+		} else {
+			res.DirMemory.MHREntries += sp.memory.MHREntries
+			res.DirMemory.PHTEntries += sp.memory.PHTEntries
 		}
 	}
 	return res, nil

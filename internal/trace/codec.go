@@ -4,27 +4,61 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 )
 
-// Binary trace format:
+// Binary trace format (CTRC v2):
 //
 //	magic "CTRC" | version u16 | nodes u16 | iterations u32 |
-//	appLen u16 | app bytes | count u64 | records...
+//	appLen u16 | app bytes | count u64 | records... | footer
 //
 // Each record is 18 bytes little-endian: node i16, side u8, sender
-// i16, type u8, addr u64, iter i32. The format is versioned so traces
-// written by older builds fail loudly instead of decoding garbage.
+// i16, type u8, addr u64, iter i32.
+//
+// The v2 footer is 16 bytes: magic "CTRE" | payload length u64 |
+// CRC-32C u32, where the length and checksum cover every byte from the
+// leading "CTRC" up to (excluding) the footer. A truncated file fails
+// the footer read, a short or bit-flipped payload fails the length or
+// checksum comparison — either way the load fails loudly instead of
+// silently decoding a shorter (or corrupted) trace. The format is
+// versioned so traces written by older builds also fail loudly instead
+// of decoding garbage: v1 files (no footer) are rejected with a
+// version-mismatch error telling the caller to regenerate.
 
 const (
-	traceMagic   = "CTRC"
-	traceVersion = 1
-	recordSize   = 18
+	traceMagic = "CTRC"
+	// Version is the current trace format version. It participates in
+	// trace-cache content keys: bumping it invalidates every cached
+	// trace, because older payload layouts must never be decoded by a
+	// newer build.
+	Version     = 2
+	recordSize  = 18
+	footerMagic = "CTRE"
+	footerSize  = 16
 )
 
-// Write serializes the trace to w.
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64), shared by Write and Read.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// countingWriter tracks how many payload bytes passed through, so the
+// footer can record the expected length.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// Write serializes the trace to w in the v2 format.
 func Write(w io.Writer, t *Trace) error {
 	if len(t.App) > 1<<16-1 {
 		return fmt.Errorf("trace: app name of %d bytes does not fit the header", len(t.App))
@@ -33,24 +67,28 @@ func Write(w io.Writer, t *Trace) error {
 		return fmt.Errorf("trace: node count %d does not fit the header", t.Nodes)
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(traceMagic); err != nil {
+	// Every payload byte flows through the counter and the checksum; the
+	// footer then pins both.
+	sum := crc32.New(crcTable)
+	cw := &countingWriter{w: io.MultiWriter(bw, sum)}
+	if _, err := io.WriteString(cw, traceMagic); err != nil {
 		return err
 	}
 	var hdr [14]byte
-	binary.LittleEndian.PutUint16(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint16(hdr[0:], Version)
 	binary.LittleEndian.PutUint16(hdr[2:], uint16(t.Nodes))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Iterations))
 	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(t.App)))
 	// hdr[10:14] reserved (zero).
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := cw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(t.App); err != nil {
+	if _, err := io.WriteString(cw, t.App); err != nil {
 		return err
 	}
 	var cnt [8]byte
 	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Records)))
-	if _, err := bw.Write(cnt[:]); err != nil {
+	if _, err := cw.Write(cnt[:]); err != nil {
 		return err
 	}
 	var rec [recordSize]byte
@@ -61,41 +99,67 @@ func Write(w io.Writer, t *Trace) error {
 		rec[5] = byte(r.Type)
 		binary.LittleEndian.PutUint64(rec[6:], uint64(r.Addr))
 		binary.LittleEndian.PutUint32(rec[14:], uint32(r.Iter))
-		if _, err := bw.Write(rec[:]); err != nil {
+		if _, err := cw.Write(rec[:]); err != nil {
 			return err
 		}
+	}
+	var foot [footerSize]byte
+	copy(foot[0:], footerMagic)
+	binary.LittleEndian.PutUint64(foot[4:], cw.n)
+	binary.LittleEndian.PutUint32(foot[12:], sum.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write.
+// checksumReader feeds every byte it yields into the checksum and the
+// byte counter, so Read can verify the footer against what it actually
+// consumed.
+type checksumReader struct {
+	r   io.Reader
+	sum hash.Hash32
+	n   uint64
+}
+
+func (c *checksumReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.sum.Write(p[:n])
+		c.n += uint64(n)
+	}
+	return n, err
+}
+
+// Read deserializes a trace written by Write, verifying the v2 length
+// and checksum footer before returning it.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	cr := &checksumReader{r: bufio.NewReader(r), sum: crc32.New(crcTable)}
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if string(magic) != traceMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	var hdr [14]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", v, traceVersion)
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d); regenerate the trace with this build", v, Version)
 	}
 	t := &Trace{
 		Nodes:      int(binary.LittleEndian.Uint16(hdr[2:])),
 		Iterations: int(binary.LittleEndian.Uint32(hdr[4:])),
 	}
 	app := make([]byte, binary.LittleEndian.Uint16(hdr[8:]))
-	if _, err := io.ReadFull(br, app); err != nil {
+	if _, err := io.ReadFull(cr, app); err != nil {
 		return nil, fmt.Errorf("trace: reading app name: %w", err)
 	}
 	t.App = string(app)
 	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+	if _, err := io.ReadFull(cr, cnt[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(cnt[:])
@@ -108,7 +172,7 @@ func Read(r io.Reader) (*Trace, error) {
 	// first short read instead of attempting a multi-gigabyte make().
 	var rec [recordSize]byte
 	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+		if _, err := io.ReadFull(cr, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 		}
 		r := Record{
@@ -128,6 +192,22 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: corrupt record %d: %+v", i, r)
 		}
 		t.Records = append(t.Records, r)
+	}
+	// The payload is fully consumed; freeze the running totals before
+	// reading the footer (the footer bytes are not part of themselves).
+	payloadLen, payloadSum := cr.n, cr.sum.Sum32()
+	var foot [footerSize]byte
+	if _, err := io.ReadFull(cr, foot[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading footer (truncated file?): %w", err)
+	}
+	if string(foot[0:4]) != footerMagic {
+		return nil, fmt.Errorf("trace: bad footer magic %q (truncated file?)", foot[0:4])
+	}
+	if wantLen := binary.LittleEndian.Uint64(foot[4:]); wantLen != payloadLen {
+		return nil, fmt.Errorf("trace: payload length %d, footer says %d (truncated file?)", payloadLen, wantLen)
+	}
+	if wantSum := binary.LittleEndian.Uint32(foot[12:]); wantSum != payloadSum {
+		return nil, fmt.Errorf("trace: payload checksum %#x, footer says %#x (corrupted file?)", payloadSum, wantSum)
 	}
 	return t, nil
 }

@@ -12,6 +12,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 )
@@ -58,12 +59,20 @@ func (r Record) Tuple() coherence.Tuple {
 	return coherence.Tuple{Sender: r.Sender, Type: r.Type}
 }
 
-// Trace is a complete captured run.
+// Trace is a complete captured run. Once captured (or decoded) a
+// trace is immutable; the evaluators only read it. Because the
+// partition memo embeds a sync.Once, traces are passed by pointer,
+// never copied.
 type Trace struct {
 	App        string
 	Nodes      int
 	Iterations int // application-level iterations
 	Records    []Record
+
+	// Slot-sharded view, built lazily by Partition and shared by every
+	// evaluation of this trace (see partition.go).
+	partitionOnce sync.Once
+	partition     *Partition
 }
 
 // NodeHashes returns one FNV-1a hash per node over that node's records

@@ -1,0 +1,96 @@
+// Package tracecache persists CTRC-encoded traces on disk, keyed by a
+// content hash of everything that determines the trace bytes. A warm
+// cache turns the expensive simulate-then-capture step into a single
+// decode: because the simulator is deterministic, the cached bytes are
+// exactly the bytes a fresh simulation would encode, so evaluations
+// against a cache hit are byte-identical to cold-cache runs (a
+// regression test pins this).
+//
+// The cache is strict about integrity. The CTRC v2 footer
+// (length + CRC-32C) makes truncated or corrupted files fail loudly at
+// load time, and a load failure is reported to the caller rather than
+// silently falling back to re-simulation: a cache that quietly papers
+// over corruption would hide exactly the disk faults it is most likely
+// to meet.
+package tracecache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+// Cache is a content-addressed trace store rooted at one directory.
+// The zero value (empty Dir) is a disabled cache: Load always misses
+// and Store is a no-op, so callers thread one value through without
+// branching on whether caching is on.
+type Cache struct {
+	// Dir is the cache root. Created on first Store.
+	Dir string
+}
+
+// Enabled reports whether the cache is backed by a directory.
+func (c Cache) Enabled() bool { return c.Dir != "" }
+
+// path maps a key to its file. Keys are hex content hashes produced by
+// the caller (see experiments.Config.traceKey); the format version is
+// part of the key, so a codec bump naturally invalidates every entry.
+func (c Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".ctrc")
+}
+
+// Load returns the cached trace for key. The second result is false on
+// a miss (no file). An existing-but-unreadable entry — truncated,
+// corrupted, version-mismatched — is an error, never a silent miss.
+func (c Cache) Load(key string) (*trace.Trace, bool, error) {
+	if !c.Enabled() {
+		return nil, false, nil
+	}
+	p := c.path(key)
+	f, err := os.Open(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("tracecache: open %s: %w", p, err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("tracecache: %s is unusable (delete it to re-simulate): %w", p, err)
+	}
+	return tr, true, nil
+}
+
+// Store writes the trace under key. The write goes to a temporary file
+// in the cache directory and is renamed into place, so concurrent
+// readers and crashed writers never observe a partial entry; the CTRC
+// footer catches anything that slips through anyway.
+func (c Cache) Store(key string, tr *trace.Trace) error {
+	if !c.Enabled() {
+		return nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return fmt.Errorf("tracecache: create %s: %w", c.Dir, err)
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("tracecache: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := trace.Write(tmp, tr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tracecache: encode %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tracecache: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("tracecache: install %s: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package tracecache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+func sample() *trace.Trace {
+	return &trace.Trace{
+		App:        "sample",
+		Nodes:      4,
+		Iterations: 2,
+		Records: []trace.Record{
+			{Node: 0, Side: trace.DirectorySide, Sender: 1, Type: coherence.GetRWReq, Addr: 0x40, Iter: 0},
+			{Node: 1, Side: trace.CacheSide, Sender: 0, Type: coherence.GetRWResp, Addr: 0x40, Iter: 1},
+		},
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	var c Cache
+	if c.Enabled() {
+		t.Fatal("zero Cache reports enabled")
+	}
+	if _, ok, err := c.Load("k"); ok || err != nil {
+		t.Fatalf("disabled Load = %v, %v; want miss", ok, err)
+	}
+	if err := c.Store("k", sample()); err != nil {
+		t.Fatalf("disabled Store: %v", err)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	c := Cache{Dir: t.TempDir()}
+	if _, ok, err := c.Load("deadbeef"); ok || err != nil {
+		t.Fatalf("cold Load = %v, %v; want clean miss", ok, err)
+	}
+	orig := sample()
+	if err := c.Store("deadbeef", orig); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Load("deadbeef")
+	if err != nil || !ok {
+		t.Fatalf("warm Load = %v, %v; want hit", ok, err)
+	}
+	if got.App != orig.App || got.Nodes != orig.Nodes || got.Iterations != orig.Iterations ||
+		!reflect.DeepEqual(got.Records, orig.Records) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+}
+
+// TestCorruptionIsLoudNotAMiss pins the cache's central policy: a
+// damaged entry is an error the caller sees, never a silent
+// re-simulation that would mask disk faults.
+func TestCorruptionIsLoudNotAMiss(t *testing.T) {
+	c := Cache{Dir: t.TempDir()}
+	if err := c.Store("key", sample()); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(c.Dir, "key.ctrc")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"truncated": data[:len(data)-3],
+		"bitflip": func() []byte {
+			d := append([]byte(nil), data...)
+			d[len(d)/2] ^= 0x01
+			return d
+		}(),
+	} {
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, ok, err := c.Load("key")
+		if err == nil {
+			t.Fatalf("%s: Load did not fail (hit=%v)", name, ok)
+		}
+		if !strings.Contains(err.Error(), "unusable") {
+			t.Fatalf("%s: error %q does not point at the file", name, err)
+		}
+	}
+}
+
+// TestStoreLeavesNoTempFiles checks the temp-and-rename install
+// doesn't litter the cache directory.
+func TestStoreLeavesNoTempFiles(t *testing.T) {
+	c := Cache{Dir: t.TempDir()}
+	if err := c.Store("key", sample()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(c.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "key.ctrc" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want [key.ctrc]", names)
+	}
+}
