@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos chaos-spec examples clean
 
 check: lint build race
 
-ci: lint build test race chaos
+ci: lint build test race chaos chaos-spec
 
 lint: vet cosmosvet
 
@@ -69,6 +69,16 @@ bench-gate:
 # protocol must find nothing.
 chaos:
 	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick
+
+# The speculation sweep: same fault plans with every Table 2 action
+# armed behind the governor — rollback bookkeeping must stay invariant-
+# clean under faults. The second leg is a self-check: a planted
+# dangling speculative entry must be caught, so the expected exit
+# status is exactly 1 (violations found); 0 (missed) and 2 (usage
+# error) both fail the target.
+chaos-spec:
+	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick -spec
+	$(GO) run ./cmd/cosmos-chaos -seeds 4 -quick -corrupt spec-dangling -o /tmp/chaos-spec >/dev/null; test $$? -eq 1
 
 examples:
 	$(GO) run ./examples/quickstart

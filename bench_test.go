@@ -15,6 +15,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/governor"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/speculate"
@@ -285,6 +286,38 @@ func BenchmarkAcceleratedProtocol(b *testing.B) {
 	}
 	b.ReportMetric(100*cmp.MessageReduction(), "msg_reduction_%")
 	b.ReportMetric(100*cmp.TimeReduction(), "time_reduction_%")
+}
+
+// BenchmarkRollbackActions measures the ProtocolRollback integration
+// end to end: a producer-consumer workload under every Table 2 action
+// at once — speculative downgrade and producer push through the
+// governor, RMW and self-invalidation ungated — against the base
+// protocol. Both runs per iteration, like BenchmarkAcceleratedProtocol.
+func BenchmarkRollbackActions(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	geom := coherence.MustGeometry(cfg.CacheBlockBytes, cfg.PageBytes, cfg.Nodes)
+	app := func() workload.App {
+		return workload.ProducerConsumer(cfg.Nodes, 1, []int{2, 5}, workload.NewArena(geom).Alloc(32), 30)
+	}
+	opts := stache.DefaultOptions()
+	opts.Speculation = true
+	acfg := speculate.AttachConfig{
+		Actions:   speculate.AllActions(),
+		Predictor: core.Config{Depth: 2},
+		Governor:  governor.DefaultConfig(),
+	}
+	var cmp *speculate.ActionComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = speculate.AccelerateActions(app, cfg, opts, acfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	acc := cmp.Accelerated
+	b.ReportMetric(100*cmp.MessageReduction(), "msg_reduction_%")
+	b.ReportMetric(100*cmp.TimeReduction(), "time_reduction_%")
+	b.ReportMetric(float64(acc.SpecFetches+acc.SpecPushes), "rollback_actions")
 }
 
 // BenchmarkPredictorObserve measures raw predictor throughput: one

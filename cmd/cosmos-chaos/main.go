@@ -10,7 +10,9 @@
 //	cosmos-chaos -seeds 100               # the EXPERIMENTS.md clean sweep
 //	cosmos-chaos -seeds 25 -quick         # the CI configuration
 //	cosmos-chaos -workers 8               # parallel seed sweep (default: all CPUs)
+//	cosmos-chaos -spec -seeds 100         # fuzz with all speculative actions armed
 //	cosmos-chaos -corrupt dir-owner       # self-check: injected damage must be caught
+//	cosmos-chaos -corrupt spec-dangling   # self-check the speculation rules
 //	cosmos-chaos -replay bundle.json      # re-execute a repro bundle
 //
 // Seeds are independent (RunSeed is pure in config and seed), so the
@@ -62,7 +64,8 @@ func run() error {
 		jitter   = flag.Uint64("jitter", def.JitterNs, "max per-packet delivery jitter (ns)")
 		perturb  = flag.Uint64("perturb", def.PerturbNs, "max event-scheduling perturbation (ns); 0 disables")
 		every    = flag.Uint64("check-every", def.CheckEvery, "invariant sweep cadence in events")
-		corrupt  = flag.String("corrupt", "", "inject protocol damage: dir-owner | dir-sharer | cache-writer")
+		spec     = flag.Bool("spec", false, "arm the speculation axis: all Table 2 actions, governor-gated, under faults")
+		corrupt  = flag.String("corrupt", "", "inject protocol damage: dir-owner | dir-sharer | cache-writer | spec-dangling")
 		atNs     = flag.Uint64("corrupt-at", 0, "injection time in ns (0 = default)")
 		outDir   = flag.String("o", ".", "directory for repro bundles")
 		replay   = flag.String("replay", "", "replay a repro bundle instead of sweeping")
@@ -107,6 +110,7 @@ func run() error {
 		JitterNs:    *jitter,
 		PerturbNs:   *perturb,
 		CheckEvery:  *every,
+		Spec:        *spec,
 		Corrupt:     *corrupt,
 		CorruptAtNs: *atNs,
 	}

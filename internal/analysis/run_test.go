@@ -98,6 +98,8 @@ func TestInSimulationCore(t *testing.T) {
 		{mod + "/internal/sim", true},
 		{mod + "/internal/stache", true},
 		{mod + "/internal/workload", true},
+		{mod + "/internal/governor", true},
+		{mod + "/internal/speculate", true},
 		{mod + "/internal/experiments", false},
 		{mod + "/internal/coherence", false},
 		{mod + "/cmd/cosmos-tables", false},

@@ -19,6 +19,11 @@ var simCorePackages = []string{
 	"internal/workload",
 	"internal/invariant",
 	"internal/chaos",
+	// The speculation governor's gate decisions steer protocol actions
+	// mid-simulation; a map iteration or clock read in its state machine
+	// would desynchronize otherwise-identical runs.
+	"internal/governor",
+	"internal/speculate",
 	// The worker pool reassembles parallel results into deterministic
 	// order; wall-clock or global-rand creep here would let scheduling
 	// leak into every experiment that fans out over it.

@@ -23,11 +23,14 @@ import (
 	"math/rand"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/faults"
+	"github.com/cosmos-coherence/cosmos/internal/governor"
 	"github.com/cosmos-coherence/cosmos/internal/invariant"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
 	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/speculate"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
 	"github.com/cosmos-coherence/cosmos/internal/workload"
 )
@@ -46,6 +49,10 @@ const (
 	// CorruptCacheWriter forces a cache line writable behind the
 	// directory's back.
 	CorruptCacheWriter = "cache-writer"
+	// CorruptSpecDangling plants a speculative read-only cache copy the
+	// home directory does not record as spec-pushed — the dangling entry
+	// the rollback discard path could never find. Forces Spec on.
+	CorruptSpecDangling = "spec-dangling"
 )
 
 // Config parameterizes one fuzz run. The zero value is not useful;
@@ -73,6 +80,12 @@ type Config struct {
 	CheckEvery uint64 `json:"check_every"`
 	// MaxEvents is the per-run event budget (0 = the default 20M).
 	MaxEvents uint64 `json:"max_events"`
+	// Spec arms the speculation axis: the protocol runs with the
+	// Speculation option, all four Table 2 actions attached, and a
+	// seed-derived governor configuration — so rollback actions, the
+	// circuit breaker, and the discard paths are fuzzed under faults and
+	// perturbation like everything else.
+	Spec bool `json:"spec,omitempty"`
 	// Corrupt selects a hand-injected corruption (Corrupt* constants)
 	// applied at CorruptAtNs of simulated time; used to self-check the
 	// monitor's detection, never in clean sweeps.
@@ -117,7 +130,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("chaos: Drop/Dup must be in [0,1)")
 	}
 	switch c.Corrupt {
-	case CorruptNone, CorruptDirOwner, CorruptDirSharer, CorruptCacheWriter:
+	case CorruptNone, CorruptDirOwner, CorruptDirSharer, CorruptCacheWriter, CorruptSpecDangling:
 	default:
 		return fmt.Errorf("chaos: unknown Corrupt mode %q", c.Corrupt)
 	}
@@ -138,6 +151,11 @@ func (c Config) normalized() Config {
 	}
 	if c.Corrupt != CorruptNone && c.CorruptAtNs == 0 {
 		c.CorruptAtNs = 3000
+	}
+	if c.Corrupt == CorruptSpecDangling {
+		// The planted state is only meaningful (and the speculation rule
+		// only fully exercised) on a speculating protocol.
+		c.Spec = true
 	}
 	if c.PerturbNs > 0 && c.Drop == 0 && c.Dup == 0 && c.JitterNs == 0 {
 		c.JitterNs = 1
@@ -205,6 +223,26 @@ func variant(seed int64) stache.Options {
 	return opts
 }
 
+// specAttachConfig derives the speculation stack's parameters from the
+// seed: all four actions, a seed-picked predictor depth, and governor
+// thresholds swept across their useful ranges so sweeps exercise eager
+// and conservative gating, fast and slow breakers alike.
+func specAttachConfig(seed int64) speculate.AttachConfig {
+	h := mix64(uint64(seed) ^ 0x5bd1e995)
+	return speculate.AttachConfig{
+		Actions:   speculate.AllActions(),
+		Predictor: core.Config{Depth: 1 + int((h>>40)%2)},
+		Governor: governor.Config{
+			CounterMax:  3,
+			Threshold:   1 + int(h%3),
+			Window:      8 << ((h >> 8) % 3),
+			TripRate:    0.3 + 0.1*float64((h>>16)%5),
+			Cooldown:    16 << ((h >> 24) % 3),
+			ProbeStreak: 1 + int((h>>32)%4),
+		},
+	}
+}
+
 // randomScript builds the seed's workload: every processor performs a
 // random mix of loads and stores over a shared pool of Blocks blocks —
 // maximum conflict, which is where protocol races live.
@@ -240,6 +278,15 @@ func randomScript(r *rand.Rand, cfg Config) (*workload.Script, []coherence.Addr)
 // if every pool block is mid-transaction it retries a little later
 // (deterministically), giving up after a bounded number of attempts.
 func corrupt(m *machine.Machine, cfg Config, addrs []coherence.Addr, attempts int) {
+	stable := func(e stache.EntryInfo) bool {
+		if cfg.Corrupt == CorruptSpecDangling {
+			// A planted speculative reader beside an exclusive owner
+			// would trip SWMR first; shared/idle entries isolate the
+			// speculation rule.
+			return e.State == stache.EntryShared || e.State == stache.EntryIdle
+		}
+		return e.State == stache.EntryShared || e.State == stache.EntryExclusive
+	}
 	target := addrs[0]
 	found := false
 	for _, a := range addrs {
@@ -247,7 +294,7 @@ func corrupt(m *machine.Machine, cfg Config, addrs []coherence.Addr, attempts in
 		if !ok {
 			continue
 		}
-		if e.State == stache.EntryShared || e.State == stache.EntryExclusive {
+		if stable(e) {
 			target = a
 			found = true
 			break
@@ -281,6 +328,30 @@ func corrupt(m *machine.Machine, cfg Config, addrs []coherence.Addr, attempts in
 		m.Directory(home).CorruptAddSharer(target, bogus)
 	case CorruptCacheWriter:
 		m.Cache(bogus).CorruptState(target, stache.CacheReadWrite)
+	case CorruptSpecDangling:
+		// Plant on an idle line so the damage is pure speculative state,
+		// not a clobbered in-flight transaction; retry if every non-home
+		// node is mid-transaction on the target.
+		planted := false
+		for off := 0; off < cfg.Nodes-1; off++ {
+			n := coherence.NodeID((int(bogus) + off) % cfg.Nodes)
+			if n == home {
+				continue
+			}
+			if _, busy := m.Cache(n).Pending(target); busy {
+				continue
+			}
+			if m.Cache(n).State(target) != stache.CacheInvalid {
+				continue
+			}
+			m.Directory(home).CorruptAddSharer(target, n)
+			m.Cache(n).CorruptSpec(target)
+			planted = true
+			break
+		}
+		if !planted && attempts > 0 {
+			m.Engine().After(200, func() { corrupt(m, cfg, addrs, attempts-1) })
+		}
 	default:
 		panic(fmt.Sprintf("chaos: unknown corrupt mode %q", cfg.Corrupt))
 	}
@@ -339,13 +410,24 @@ func RunSeed(cfg Config, seed int64) (res Result) {
 		JitterNs: cfg.JitterNs,
 	}
 
-	m, err := machine.New(mcfg, variant(seed), script)
+	opts := variant(seed)
+	if cfg.Spec {
+		opts.Speculation = true
+	}
+	m, err := machine.New(mcfg, opts, script)
 	if err != nil {
 		res.Outcome = OutcomeError
 		res.Diagnostic = err.Error()
 		return res
 	}
 	mm = m
+	if cfg.Spec {
+		if _, err := speculate.Attach(m, specAttachConfig(seed)); err != nil {
+			res.Outcome = OutcomeError
+			res.Diagnostic = err.Error()
+			return res
+		}
+	}
 	if cfg.PerturbNs > 0 {
 		window := cfg.PerturbNs + 1
 		s := mix64(uint64(seed))

@@ -107,6 +107,87 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
+// TestSpecSweepClean: the speculation axis — all four actions, a
+// seed-varied governor, rollback bookkeeping — composed with faults and
+// perturbation must survive a clean sweep: zero violations, zero
+// panics, and every stall attributable to the fault plan.
+func TestSpecSweepClean(t *testing.T) {
+	cfg := DefaultConfig().Quick()
+	cfg.Spec = true
+	for _, r := range Sweep(cfg, 1, 12, 4) {
+		if r.Failed() {
+			t.Errorf("seed %d: %s with speculation armed\n%s", r.Seed, r.Outcome, r.Diagnostic)
+		}
+	}
+}
+
+// TestSpecSweepDeterministic: arming speculation must not cost
+// reproducibility — same seed, same result, worker count irrelevant.
+func TestSpecSweepDeterministic(t *testing.T) {
+	cfg := DefaultConfig().Quick()
+	cfg.Spec = true
+	serial := Sweep(cfg, 1, 6, 1)
+	parallelRun := Sweep(cfg, 1, 6, 6)
+	for i := range serial {
+		if serial[i] != parallelRun[i] {
+			t.Errorf("seed %d diverged across worker counts:\n%+v\n%+v",
+				serial[i].Seed, serial[i], parallelRun[i])
+		}
+	}
+}
+
+// TestSpecDanglingDetected: the planted dangling speculative entry must
+// be caught by the new speculation rule specifically — it is invisible
+// to the pre-existing rules (the sharer bit agrees, the line is
+// read-only), so a firing proves the rule carries its own weight.
+func TestSpecDanglingDetected(t *testing.T) {
+	cfg := DefaultConfig().Quick()
+	cfg.Corrupt = CorruptSpecDangling
+	found := false
+	for seed := int64(1); seed <= 8; seed++ {
+		res := RunSeed(cfg, seed)
+		if res.Outcome != OutcomeViolation {
+			continue
+		}
+		found = true
+		if res.Rule != invariant.RuleSpeculation {
+			t.Errorf("seed %d: rule = %q, want %q\n%s", seed, res.Rule, invariant.RuleSpeculation, res.Diagnostic)
+		}
+		if !strings.Contains(res.Diagnostic, "dangling") {
+			t.Errorf("seed %d: diagnostic does not name the dangling entry:\n%s", seed, res.Diagnostic)
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..8 detected spec-dangling corruption")
+	}
+}
+
+// TestSpecDanglingBundle: the self-check shrinks and replays like any
+// organic failure, and the shrinker never sheds the speculation axis
+// the corruption depends on.
+func TestSpecDanglingBundle(t *testing.T) {
+	cfg := DefaultConfig().Quick()
+	cfg.Spec = true
+	cfg.Corrupt = CorruptSpecDangling
+	var res Result
+	var seed int64
+	for seed = 1; seed <= 8; seed++ {
+		if res = RunSeed(cfg, seed); res.Failed() {
+			break
+		}
+	}
+	if !res.Failed() {
+		t.Fatal("no failing seed found")
+	}
+	bundle := Reduce(cfg, res, DefaultShrinkTrials)
+	if !bundle.Config.Spec {
+		t.Error("shrink dropped the Spec axis from a spec corruption repro")
+	}
+	if _, err := Replay(bundle); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+}
+
 // TestBundleDeterminism: reducing the same failing seed twice must
 // produce byte-identical repro bundles — config, diagnostic, trace.
 func TestBundleDeterminism(t *testing.T) {

@@ -38,6 +38,16 @@ var knobs = []knob{
 		c.Blocks /= 2
 		return c, true
 	}},
+	{"spec", func(c Config) (Config, bool) {
+		// A failure that survives with speculation off is not a
+		// speculation bug; shedding the axis (where allowed — the
+		// spec-dangling self-check needs it) simplifies the repro.
+		if !c.Spec || c.Corrupt == CorruptSpecDangling {
+			return c, false
+		}
+		c.Spec = false
+		return c, true
+	}},
 	{"drop", func(c Config) (Config, bool) {
 		if c.Drop <= 0 {
 			return c, false
@@ -123,6 +133,8 @@ func describe(c Config, name string) string {
 		return fmt.Sprintf("%d", c.Accesses)
 	case "blocks":
 		return fmt.Sprintf("%d", c.Blocks)
+	case "spec":
+		return fmt.Sprintf("%v", c.Spec)
 	case "drop":
 		return fmt.Sprintf("%g", c.Drop)
 	case "dup":

@@ -61,6 +61,15 @@ const (
 	DowngradeReq
 	// WritebackAck acknowledges a WritebackReq.
 	WritebackAck
+	// SpecPush carries a block a directory forwards to a predicted
+	// requestor before any request arrives (the producer-push action of
+	// Table 2, ProtocolRollback class). The receiving cache installs a
+	// read-only copy only if the line is otherwise untouched; in every
+	// other case the push is silently dropped and the directory's
+	// speculative bookkeeping is reconciled out of band. This is the
+	// sixteenth and last type expressible in the 4-bit hardware encoding
+	// Table 7 assumes (internal/core tupleBits).
+	SpecPush
 
 	// NumMsgTypes is the number of distinct message types, handy for
 	// sizing dense tables indexed by MsgType.
@@ -83,6 +92,7 @@ var msgTypeNames = [NumMsgTypes]string{
 	InvalRWReq:    "inval_rw_request",
 	DowngradeReq:  "downgrade_request",
 	WritebackAck:  "writeback_ack",
+	SpecPush:      "spec_push",
 }
 
 // String returns the snake_case name used throughout the paper
@@ -148,7 +158,7 @@ func ParseMsgType(s string) (MsgType, bool) {
 func (t MsgType) CarriesData() bool {
 	//cosmosvet:allow exhaustive sizing predicate; data-less types are the default and a wrong answer only skews simulated occupancy, never protocol decisions
 	switch t {
-	case GetROResp, GetRWResp, InvalRWResp, DowngradeResp, WritebackReq:
+	case GetROResp, GetRWResp, InvalRWResp, DowngradeResp, WritebackReq, SpecPush:
 		return true
 	}
 	return false

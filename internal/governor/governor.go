@@ -1,0 +1,319 @@
+// Package governor makes speculation fail-safe in the aggregate, the
+// way internal/stache's ProtocolRollback bookkeeping makes each action
+// fail-safe individually. The paper's actions (Section 4.3, Table 2)
+// are only profitable when predictions are mostly right; a pathological
+// workload, a cold predictor, or a fault storm that scrambles message
+// order can push the misprediction rate high enough that speculation is
+// pure overhead. The governor answers both failure modes with standard
+// hardware-predictor machinery:
+//
+//   - Per-block saturating confidence counters (the 2-bit-counter idiom
+//     of branch predictors, width configurable): an action is allowed
+//     for a block only after its predictions have been verified correct
+//     Threshold times in a row since the last miss. Cold or flaky
+//     blocks never speculate; stable producer/consumer blocks do.
+//
+//   - A global misprediction-rate circuit breaker with hysteresis: a
+//     sliding window of verified outcomes trips the breaker Open when
+//     the misprediction rate reaches TripRate, which degrades the whole
+//     machine to the base protocol. After Cooldown further observations
+//     the breaker goes HalfOpen and admits probe speculation one action
+//     at a time; ProbeStreak consecutive correct probes close it again,
+//     a single wrong probe re-opens it.
+//
+// The governor is deterministic: its decisions are a pure function of
+// the sequence of Observe/Allow/Record calls, it never consults clocks
+// or randomness, and it iterates no maps. It implements stache.Gate.
+package governor
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+)
+
+// Config holds the governor's thresholds. The zero value is not valid;
+// use DefaultConfig (or normalize arbitrary values with Validate).
+type Config struct {
+	// CounterMax is the saturation ceiling of each per-block confidence
+	// counter (3 reproduces the classic 2-bit counter).
+	CounterMax int `json:"counter_max"`
+	// Threshold is the minimum counter value at which speculative
+	// actions are allowed for a block.
+	Threshold int `json:"threshold"`
+	// Window is how many recent verified outcomes the circuit breaker
+	// considers when computing the misprediction rate.
+	Window int `json:"window"`
+	// TripRate is the misprediction fraction (0,1] at which a full
+	// window trips the breaker Open.
+	TripRate float64 `json:"trip_rate"`
+	// Cooldown is how many observations the breaker stays Open before
+	// probing (HalfOpen).
+	Cooldown int `json:"cooldown"`
+	// ProbeStreak is how many consecutive correct probe outcomes close
+	// a HalfOpen breaker.
+	ProbeStreak int `json:"probe_streak"`
+}
+
+// DefaultConfig returns conservative thresholds: 2-bit counters that
+// must saturate halfway, a 32-outcome window tripping at 50%
+// mispredictions, a 64-observation cooldown, and 4 clean probes to
+// close.
+func DefaultConfig() Config {
+	return Config{
+		CounterMax:  3,
+		Threshold:   2,
+		Window:      32,
+		TripRate:    0.5,
+		Cooldown:    64,
+		ProbeStreak: 4,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.CounterMax < 1 {
+		return fmt.Errorf("governor: CounterMax %d < 1", c.CounterMax)
+	}
+	if c.Threshold < 1 || c.Threshold > c.CounterMax {
+		return fmt.Errorf("governor: Threshold %d outside [1, CounterMax=%d]", c.Threshold, c.CounterMax)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("governor: Window %d < 1", c.Window)
+	}
+	if c.TripRate <= 0 || c.TripRate > 1 {
+		return fmt.Errorf("governor: TripRate %v outside (0, 1]", c.TripRate)
+	}
+	if c.Cooldown < 1 {
+		return fmt.Errorf("governor: Cooldown %d < 1", c.Cooldown)
+	}
+	if c.ProbeStreak < 1 {
+		return fmt.Errorf("governor: ProbeStreak %d < 1", c.ProbeStreak)
+	}
+	return nil
+}
+
+// State enumerates the circuit breaker's states.
+type State uint8
+
+const (
+	// Closed is normal operation: speculation flows, gated only by the
+	// per-block counters.
+	Closed State = iota
+	// Open means the misprediction rate tripped the breaker: all
+	// speculation is denied while confidence rebuilds.
+	Open
+	// HalfOpen admits one probe speculation at a time to test whether
+	// conditions have improved.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Stats counts the governor's decisions and inputs.
+type Stats struct {
+	Observed    uint64 // verified predictions fed to the breaker window
+	Mispredicts uint64 // of which wrong
+	Allowed     uint64 // Allow calls granted
+	Denied      uint64 // Allow calls refused (counter or breaker)
+	Recorded    uint64 // action outcomes recorded
+	ActionWrong uint64 // of which mispredicted
+	Trips       uint64 // Closed/HalfOpen -> Open transitions
+	Closes      uint64 // HalfOpen -> Closed transitions
+}
+
+// Governor implements stache.Gate: per-block saturating confidence
+// counters in front of a global misprediction-rate circuit breaker.
+type Governor struct {
+	cfg Config
+
+	counters map[coherence.Addr]int
+
+	state State
+	// window is a ring buffer of recent verified outcomes.
+	window   []bool
+	filled   int
+	next     int
+	misses   int // mispredictions currently in the window
+	cooldown int
+	// probe tracks the single outstanding HalfOpen probe and the streak
+	// of consecutive correct probes.
+	probeOut bool
+	streak   int
+
+	stats Stats
+}
+
+// New creates a governor. cfg must validate.
+func New(cfg Config) (*Governor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Governor{
+		cfg:      cfg,
+		counters: make(map[coherence.Addr]int),
+		window:   make([]bool, cfg.Window),
+	}, nil
+}
+
+var _ stache.Gate = (*Governor)(nil)
+
+// State returns the circuit breaker's current state.
+func (g *Governor) State() State { return g.state }
+
+// Stats returns a copy of the decision counters.
+func (g *Governor) Stats() Stats { return g.stats }
+
+// Confidence returns addr's current confidence-counter value.
+func (g *Governor) Confidence(addr coherence.Addr) int { return g.counters[addr] }
+
+// Observe implements stache.Gate: a standing prediction for addr was
+// verified against the message that actually arrived. Correct outcomes
+// build the block's confidence; wrong ones reset it. Every outcome
+// feeds the breaker window.
+func (g *Governor) Observe(addr coherence.Addr, correct bool) {
+	g.stats.Observed++
+	if correct {
+		if g.counters[addr] < g.cfg.CounterMax {
+			g.counters[addr]++
+		}
+	} else {
+		g.stats.Mispredicts++
+		g.counters[addr] = 0
+	}
+	g.feed(correct)
+}
+
+// Allow implements stache.Gate: may action a be taken on addr now?
+func (g *Governor) Allow(a stache.SpecAction, addr coherence.Addr) bool {
+	ok := g.allow(addr)
+	if ok {
+		g.stats.Allowed++
+	} else {
+		g.stats.Denied++
+	}
+	_ = a // every action shares the counters and the breaker
+	return ok
+}
+
+func (g *Governor) allow(addr coherence.Addr) bool {
+	if g.counters[addr] < g.cfg.Threshold {
+		return false
+	}
+	switch g.state {
+	case Open:
+		return false
+	case HalfOpen:
+		if g.probeOut {
+			return false
+		}
+		g.probeOut = true
+		return true
+	case Closed:
+		return true
+	}
+	panic("governor: unknown state")
+}
+
+// Record implements stache.Gate: an allowed action's outcome became
+// known — an expectation met or missed, a pushed copy claimed or
+// discarded. Outcomes feed the same confidence counters and breaker
+// window as verified predictions; in HalfOpen they additionally settle
+// the outstanding probe.
+func (g *Governor) Record(a stache.SpecAction, addr coherence.Addr, correct bool) {
+	g.stats.Recorded++
+	if !correct {
+		g.stats.ActionWrong++
+		g.counters[addr] = 0
+	}
+	_ = a
+	if g.state == HalfOpen && g.probeOut {
+		g.probeOut = false
+		if correct {
+			g.streak++
+			if g.streak >= g.cfg.ProbeStreak {
+				g.close()
+			}
+			return
+		}
+		g.trip()
+		return
+	}
+	g.feed(correct)
+}
+
+// feed pushes one verified outcome into the breaker window and runs the
+// state machine.
+func (g *Governor) feed(correct bool) {
+	switch g.state {
+	case Open:
+		// Cooldown counts observations, not time: the machine only
+		// recovers when traffic shows the predictor has re-learned.
+		g.cooldown--
+		if g.cooldown <= 0 {
+			g.state = HalfOpen
+			g.probeOut = false
+			g.streak = 0
+		}
+		return
+	case HalfOpen:
+		// Probe outcomes drive HalfOpen through Record; background
+		// observations neither close nor trip it.
+		return
+	case Closed:
+	default:
+		panic("governor: unknown state")
+	}
+	// Closed: slide the window and check the trip condition.
+	if g.filled == len(g.window) {
+		if !g.window[g.next] {
+			g.misses--
+		}
+	} else {
+		g.filled++
+	}
+	g.window[g.next] = correct
+	if !correct {
+		g.misses++
+	}
+	g.next++
+	if g.next == len(g.window) {
+		g.next = 0
+	}
+	if g.filled == len(g.window) &&
+		float64(g.misses) >= g.cfg.TripRate*float64(len(g.window)) {
+		g.trip()
+	}
+}
+
+func (g *Governor) trip() {
+	g.stats.Trips++
+	g.state = Open
+	g.cooldown = g.cfg.Cooldown
+	g.probeOut = false
+	g.streak = 0
+}
+
+func (g *Governor) close() {
+	g.stats.Closes++
+	g.state = Closed
+	g.probeOut = false
+	g.streak = 0
+	// Start from a clean window: the pre-trip mispredictions have been
+	// paid for; re-tripping should require fresh evidence.
+	for i := range g.window {
+		g.window[i] = false
+	}
+	g.filled, g.next, g.misses = 0, 0, 0
+}

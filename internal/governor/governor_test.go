@@ -1,0 +1,227 @@
+package governor
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+)
+
+func mustNew(t *testing.T, cfg Config) *Governor {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		func() Config { c := DefaultConfig(); c.CounterMax = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Threshold = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Threshold = c.CounterMax + 1; return c }(),
+		func() Config { c := DefaultConfig(); c.Window = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.TripRate = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.TripRate = 1.5; return c }(),
+		func() Config { c := DefaultConfig(); c.Cooldown = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.ProbeStreak = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+}
+
+// TestCounterSaturation drives one block's counter up to the ceiling
+// and verifies a single misprediction resets it to zero (classic
+// saturating-counter behaviour).
+func TestCounterSaturation(t *testing.T) {
+	g := mustNew(t, DefaultConfig())
+	addr := coherence.Addr(0x40)
+
+	if g.Allow(stache.SpecForward, addr) {
+		t.Fatal("cold block allowed speculation")
+	}
+	g.Observe(addr, true)
+	if g.Allow(stache.SpecForward, addr) {
+		t.Fatal("one correct observation reached the threshold of 2")
+	}
+	g.Observe(addr, true)
+	if !g.Allow(stache.SpecForward, addr) {
+		t.Fatal("threshold reached but speculation denied")
+	}
+	for i := 0; i < 10; i++ {
+		g.Observe(addr, true)
+	}
+	if got := g.Confidence(addr); got != DefaultConfig().CounterMax {
+		t.Fatalf("counter %d, want saturated at %d", got, DefaultConfig().CounterMax)
+	}
+	g.Observe(addr, false)
+	if got := g.Confidence(addr); got != 0 {
+		t.Fatalf("counter %d after misprediction, want 0", got)
+	}
+	if g.Allow(stache.SpecForward, addr) {
+		t.Fatal("speculation allowed immediately after a misprediction")
+	}
+	// Counters are per block: another block's history is independent.
+	other := coherence.Addr(0x80)
+	g.Observe(other, true)
+	g.Observe(other, true)
+	if !g.Allow(stache.SpecForward, other) {
+		t.Fatal("independent block denied")
+	}
+}
+
+// cfgSmall is a breaker that is easy to exercise: window 4 tripping at
+// half misses, cooldown 3, 2 probes to close.
+func cfgSmall() Config {
+	return Config{CounterMax: 3, Threshold: 1, Window: 4, TripRate: 0.5, Cooldown: 3, ProbeStreak: 2}
+}
+
+// TestBreakerHysteresis walks the breaker through the full
+// Closed -> Open -> HalfOpen -> Closed cycle with a scripted sequence,
+// then re-trips it from HalfOpen with a wrong probe.
+func TestBreakerHysteresis(t *testing.T) {
+	g := mustNew(t, cfgSmall())
+	addr := coherence.Addr(0x40)
+	hot := func() { // keep the block confident so only the breaker gates
+		if g.Confidence(addr) == 0 {
+			g.Observe(addr, true)
+		}
+	}
+
+	// Fill the window with misses on other blocks: 2/4 wrong trips it.
+	g.Observe(0x1000, true)
+	g.Observe(0x2000, true)
+	g.Observe(0x3000, false)
+	if g.State() != Closed {
+		t.Fatalf("state %v before window filled, want closed", g.State())
+	}
+	g.Observe(0x4000, false)
+	if g.State() != Open {
+		t.Fatalf("state %v after 2/4 misses, want open", g.State())
+	}
+	hot()
+	if g.Allow(stache.SpecDowngrade, addr) {
+		t.Fatal("open breaker allowed speculation")
+	}
+
+	// Cooldown counts observations; the hot() above consumed one.
+	g.Observe(0x1000, true)
+	g.Observe(0x2000, true)
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", g.State())
+	}
+
+	// HalfOpen admits exactly one probe at a time.
+	hot()
+	if !g.Allow(stache.SpecDowngrade, addr) {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if g.Allow(stache.SpecDowngrade, addr) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	g.Record(stache.SpecDowngrade, addr, true)
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v after 1/2 probes, want half-open", g.State())
+	}
+	if !g.Allow(stache.SpecDowngrade, addr) {
+		t.Fatal("second probe denied")
+	}
+	g.Record(stache.SpecDowngrade, addr, true)
+	if g.State() != Closed {
+		t.Fatalf("state %v after probe streak, want closed", g.State())
+	}
+
+	// The close cleared the window: re-tripping needs a full fresh
+	// window of evidence, not one more miss on the old one.
+	g.Observe(0x1000, false)
+	if g.State() != Closed {
+		t.Fatalf("state %v after single post-close miss, want closed", g.State())
+	}
+	g.Observe(0x2000, false)
+	g.Observe(0x3000, true)
+	g.Observe(0x4000, true)
+	if g.State() != Open {
+		t.Fatalf("state %v after fresh 2/4 window, want open", g.State())
+	}
+
+	// Cool down again, then fail the probe: straight back to Open.
+	g.Observe(0x1000, true)
+	g.Observe(0x2000, true)
+	g.Observe(0x3000, true)
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v, want half-open", g.State())
+	}
+	hot()
+	if !g.Allow(stache.SpecForward, addr) {
+		t.Fatal("probe denied")
+	}
+	g.Record(stache.SpecForward, addr, false)
+	if g.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", g.State())
+	}
+
+	st := g.Stats()
+	if st.Trips != 3 || st.Closes != 1 {
+		t.Fatalf("trips=%d closes=%d, want 3 and 1", st.Trips, st.Closes)
+	}
+}
+
+// TestRecordResetsCounter checks that a mispredicted *action* (not just
+// a mispredicted message) zeroes the block's confidence.
+func TestRecordResetsCounter(t *testing.T) {
+	g := mustNew(t, DefaultConfig())
+	addr := coherence.Addr(0x40)
+	g.Observe(addr, true)
+	g.Observe(addr, true)
+	if !g.Allow(stache.SpecForward, addr) {
+		t.Fatal("confident block denied")
+	}
+	g.Record(stache.SpecForward, addr, false)
+	if g.Confidence(addr) != 0 {
+		t.Fatalf("counter %d after wrong action, want 0", g.Confidence(addr))
+	}
+}
+
+// TestDeterminism replays one scripted call sequence twice and demands
+// identical decisions, states, and stats — the property cosmosvet's
+// determinism analyzers guard structurally (no map iteration, no
+// clocks, no randomness).
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		g := mustNew(t, cfgSmall())
+		out := ""
+		// A fixed pseudo-script mixing blocks, outcomes, and actions.
+		for i := 0; i < 500; i++ {
+			addr := coherence.Addr((i * 7919 % 13) * 0x40)
+			correct := (i*2654435761)%10 < 6
+			g.Observe(addr, correct)
+			if i%3 == 0 {
+				a := stache.SpecAction(i % int(stache.NumSpecActions))
+				if g.Allow(a, addr) {
+					out += "A"
+					g.Record(a, addr, (i*40503)%10 < 5)
+				} else {
+					out += "d"
+				}
+			}
+			out += g.State().String()[:1]
+		}
+		return fmt.Sprintf("%s|%+v", out, g.Stats())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical scripts diverged:\n%s\n%s", a, b)
+	}
+}

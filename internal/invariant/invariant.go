@@ -64,6 +64,9 @@ type View interface {
 	CacheState(n coherence.NodeID, addr coherence.Addr) stache.CacheState
 	// CachePending reports node n's outstanding transaction on addr.
 	CachePending(n coherence.NodeID, addr coherence.Addr) (kind string, ok bool)
+	// CacheSpec reports whether node n holds addr as an unclaimed
+	// speculative (pushed) copy.
+	CacheSpec(n coherence.NodeID, addr coherence.Addr) bool
 	// HomeEntry returns the home directory's entry for addr.
 	HomeEntry(addr coherence.Addr) (stache.EntryInfo, bool)
 	// DirectoryBlocks returns every block any directory tracks, sorted.
@@ -82,6 +85,13 @@ const (
 	RuleConservation = "conservation"
 	RuleLegality     = "legality"
 	RuleTransition   = "transition"
+	// RuleSpeculation covers the ProtocolRollback safety contract: an
+	// unclaimed speculative copy is always read-only and always backed
+	// by matching spec-pushed bookkeeping at the home directory (so the
+	// discard path can find it), speculative state exists only when the
+	// Speculation option is on, and none of it — cache copies, pushed
+	// marks, downgrade expectations — survives to quiesce.
+	RuleSpeculation = "speculation"
 )
 
 // Config tunes the monitor.
@@ -136,6 +146,11 @@ func (p shadowPend) String() string {
 type shadowLine struct {
 	state stache.CacheState
 	pend  shadowPend
+	// spec marks a shadow read-only line installed by an observed
+	// spec_push. The real cache may legitimately have dropped the push
+	// (bounded cache, drain) — the one tolerated shadow/real divergence
+	// beyond bounded-cache silent evictions.
+	spec bool
 }
 
 type shadowKey struct {
@@ -314,6 +329,15 @@ func (m *Monitor) ObserveSend(msg coherence.Msg) {
 		m.violate(RuleLegality, msg.Addr,
 			"%v sent under the half-migratory variant, which never downgrades", msg)
 	}
+	if msg.Type == coherence.SpecPush {
+		if !m.opts.Speculation {
+			m.violate(RuleSpeculation, msg.Addr,
+				"%v sent but Options.Speculation is off (base protocol must be untouched)", msg)
+		} else if msg.Src != home {
+			m.violate(RuleSpeculation, msg.Addr,
+				"%v pushed by non-home node (home %v)", msg, home)
+		}
+	}
 	if !m.opts.Forwarding && msg.Grant.Valid() {
 		m.violate(RuleLegality, msg.Addr,
 			"%v carries forwarding grant %v but forwarding is disabled", msg, msg.Grant)
@@ -370,7 +394,7 @@ func (m *Monitor) ObserveCache(node coherence.NodeID, msg coherence.Msg) {
 			m.violate(RuleTransition, msg.Addr,
 				"%v delivered to %v with no read fetch outstanding (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
-		l.state, l.pend = stache.CacheReadOnly, shadowNone
+		l.state, l.pend, l.spec = stache.CacheReadOnly, shadowNone, false
 	case coherence.GetRWResp:
 		// Legal for a write miss, an upgrade converted by a racing
 		// invalidation, and a read miss answered exclusively by a
@@ -379,25 +403,25 @@ func (m *Monitor) ObserveCache(node coherence.NodeID, msg coherence.Msg) {
 			m.violate(RuleTransition, msg.Addr,
 				"%v delivered to %v with no fetch or upgrade outstanding (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
-		l.state, l.pend = stache.CacheReadWrite, shadowNone
+		l.state, l.pend, l.spec = stache.CacheReadWrite, shadowNone, false
 	case coherence.UpgradeResp:
 		if l.pend != shadowUpgrade {
 			m.violate(RuleTransition, msg.Addr,
 				"%v delivered to %v with no upgrade outstanding (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
-		l.state, l.pend = stache.CacheReadWrite, shadowNone
+		l.state, l.pend, l.spec = stache.CacheReadWrite, shadowNone, false
 	case coherence.InvalROReq:
 		if l.state == stache.CacheReadWrite {
 			m.violate(RuleTransition, msg.Addr,
 				"%v delivered to %v holding a read-write copy (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
-		l.state = stache.CacheInvalid
+		l.state, l.spec = stache.CacheInvalid, false
 	case coherence.InvalRWReq:
 		if l.state != stache.CacheReadWrite && l.pend != shadowWriteback {
 			m.violate(RuleTransition, msg.Addr,
 				"%v delivered to %v not holding a read-write copy (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
-		l.state = stache.CacheInvalid
+		l.state, l.spec = stache.CacheInvalid, false
 	case coherence.DowngradeReq:
 		if l.state != stache.CacheReadWrite && l.pend != shadowWriteback {
 			m.violate(RuleTransition, msg.Addr,
@@ -412,6 +436,14 @@ func (m *Monitor) ObserveCache(node coherence.NodeID, msg coherence.Msg) {
 				"%v delivered to %v with no writeback outstanding (shadow %v/%v)", msg, node, l.state, l.pend)
 		}
 		l.pend = shadowNone
+	case coherence.SpecPush:
+		// The shadow installs a speculative read-only copy exactly when
+		// an untouched real cache would. The real cache may additionally
+		// drop the push (bounded cache, drain) — checkShadow tolerates
+		// that one divergence via the spec mark.
+		if l.state == stache.CacheInvalid && l.pend == shadowNone {
+			l.state, l.spec = stache.CacheReadOnly, true
+		}
 	}
 }
 
@@ -522,13 +554,97 @@ func (m *Monitor) sweep(v View, strict bool) {
 		}
 		if m.quiet(v, addr, entry, tracked) {
 			m.checkAgreement(v, addr, entry, tracked)
+			// Speculation before shadow: a bad speculative line trips both,
+			// and the speculation diagnosis is the specific one.
+			m.checkSpeculation(v, addr, entry, tracked)
 			m.checkShadow(v, addr)
+		}
+		if strict {
+			m.checkSpecQuiesce(v, addr, entry, tracked)
 		}
 		if m.violation != nil {
 			return
 		}
 	}
-	_ = strict
+}
+
+// checkSpeculation enforces the rollback-class safety contract on a
+// quiet block: a cache line marked speculative must be read-only (never
+// processor-visible as writable data), must only exist when the
+// Speculation option is on, and must be backed by matching spec-pushed
+// bookkeeping at the home directory — otherwise the discard path could
+// never find it (the "dangling speculative entry" the chaos
+// spec-dangling self-check plants).
+func (m *Monitor) checkSpeculation(v View, addr coherence.Addr, e stache.EntryInfo, tracked bool) {
+	home := m.geom.Home(addr)
+	for n := 0; n < m.geom.Nodes(); n++ {
+		node := coherence.NodeID(n)
+		if !v.CacheSpec(node, addr) {
+			continue
+		}
+		if !m.opts.Speculation {
+			m.violate(RuleSpeculation, addr,
+				"%v holds a speculative copy but Options.Speculation is off", node)
+			return
+		}
+		if node == home {
+			m.violate(RuleSpeculation, addr,
+				"home node %v holds a speculative copy of its own block", node)
+			return
+		}
+		if st := v.CacheState(node, addr); st != stache.CacheReadOnly {
+			m.violate(RuleSpeculation, addr,
+				"%v marks a %v line speculative (pushed copies are read-only until claimed)", node, st)
+			return
+		}
+		backed := false
+		if tracked && e.State == stache.EntryShared {
+			inSharers, inPushed := false, false
+			for _, s := range e.Sharers {
+				if s == node {
+					inSharers = true
+				}
+			}
+			for _, s := range e.SpecPushed {
+				if s == node {
+					inPushed = true
+				}
+			}
+			backed = inSharers && inPushed
+		}
+		if !backed {
+			m.violate(RuleSpeculation, addr,
+				"%v holds an unclaimed speculative copy the home directory does not record as spec-pushed (dangling; directory %v)", node, e)
+			return
+		}
+	}
+}
+
+// checkSpecQuiesce enforces that no speculative state of any kind —
+// unclaimed cache copies, spec-pushed sharer marks, downgrade
+// expectations — survives to quiesce: the end-of-run reconciler must
+// have discarded all of it.
+func (m *Monitor) checkSpecQuiesce(v View, addr coherence.Addr, e stache.EntryInfo, tracked bool) {
+	for n := 0; n < m.geom.Nodes(); n++ {
+		node := coherence.NodeID(n)
+		if v.CacheSpec(node, addr) {
+			m.violate(RuleSpeculation, addr,
+				"%v still holds an unclaimed speculative copy at quiesce (discard path failed)", node)
+			return
+		}
+	}
+	if !tracked {
+		return
+	}
+	if len(e.SpecPushed) > 0 {
+		m.violate(RuleSpeculation, addr,
+			"home entry retains spec-pushed marks %v at quiesce (reconciler failed)", e.SpecPushed)
+		return
+	}
+	if e.SpecExpect != coherence.NoNode {
+		m.violate(RuleSpeculation, addr,
+			"home entry retains a downgrade expectation for %v at quiesce", e.SpecExpect)
+	}
 }
 
 // checkSWMR enforces single-writer / multiple-reader on the real cache
@@ -660,6 +776,12 @@ func (m *Monitor) checkShadow(v View, addr coherence.Addr) {
 		if m.bounded && l.state == stache.CacheReadOnly && real == stache.CacheInvalid {
 			continue // silent read-only eviction
 		}
+		if l.spec && l.state == stache.CacheReadOnly && real == stache.CacheInvalid {
+			// The real cache dropped (or the reconciler discarded) a
+			// pushed copy the shadow installed; losing speculative state
+			// is always legal.
+			continue
+		}
 		m.violate(RuleTransition, addr,
 			"%v holds %v but the observed message stream implies %v", node, real, l.state)
 		return
@@ -750,6 +872,9 @@ func (v *Violation) enrich(m *Monitor, view View) {
 			nv.Shadow = l.state.String()
 			if l.pend != shadowNone {
 				nv.Shadow += "/" + l.pend.String()
+			}
+			if l.spec {
+				nv.Shadow += " (spec)"
 			}
 		}
 		v.Nodes = append(v.Nodes, nv)

@@ -11,6 +11,8 @@
 package machine
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -245,6 +247,11 @@ func (m *Machine) Accesses() uint64 { return m.accesses }
 // Iteration returns the number of fully completed iterations.
 func (m *Machine) Iteration() int { return m.iter }
 
+// TotalIterations returns how many iterations the workload runs in
+// total, so observers (like the speculation reconciler) can recognize
+// the final barrier.
+func (m *Machine) TotalIterations() int { return m.app.Iterations() }
+
 // Transport exposes the reliable transport, or nil when the
 // interconnect is fault-free and the protocol talks to the network
 // directly.
@@ -264,6 +271,34 @@ func (m *Machine) CacheState(n coherence.NodeID, addr coherence.Addr) stache.Cac
 // CachePending reports node n's outstanding transaction on addr.
 func (m *Machine) CachePending(n coherence.NodeID, addr coherence.Addr) (string, bool) {
 	return m.caches[n].Pending(addr)
+}
+
+// CacheSpec reports whether node n holds addr as an unclaimed
+// speculative (pushed) copy.
+func (m *Machine) CacheSpec(n coherence.NodeID, addr coherence.Addr) bool {
+	return m.caches[n].Spec(addr)
+}
+
+// StateDigest hashes the protocol-visible end state of the machine:
+// every directory entry and every node's stable cache state (plus
+// speculative mark) for every tracked block. Two runs whose digests
+// match ended in byte-equivalent coherence state — the property the
+// ProtocolRollback acceptance tests check against the base protocol.
+func (m *Machine) StateDigest() string {
+	h := sha256.New()
+	for _, addr := range m.DirectoryBlocks() {
+		e, _ := m.HomeEntry(addr)
+		fmt.Fprintf(h, "%#x dir=%v\n", uint64(addr), e)
+		for n := range m.caches {
+			node := coherence.NodeID(n)
+			st := m.caches[n].State(addr)
+			if st == stache.CacheInvalid && !m.caches[n].Spec(addr) {
+				continue
+			}
+			fmt.Fprintf(h, "%#x %v=%v spec=%v\n", uint64(addr), node, st, m.caches[n].Spec(addr))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // HomeEntry returns the home directory's entry for addr.

@@ -2,6 +2,7 @@ package speculate
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
@@ -29,6 +30,9 @@ import (
 type SelfInvalidator struct {
 	m     *machine.Machine
 	preds []*core.Predictor
+	// gate, when non-nil, verifies standing predictions against arriving
+	// messages and must allow each eviction (see AttachGatedSelfInvalidation).
+	gate stache.Gate
 	// candidates[n] holds the blocks node n should return at the next
 	// barrier.
 	candidates []map[coherence.Addr]bool
@@ -51,6 +55,20 @@ func AttachSelfInvalidation(m *machine.Machine, nodes int, cfg core.Config) (*Se
 	return s, nil
 }
 
+// AttachGatedSelfInvalidation is AttachSelfInvalidation with every
+// eviction routed through g: the cache-side predictors' hits and misses
+// feed g's confidence machinery, and a barrier eviction happens only if
+// g.Allow(SpecDSI, addr) grants it. Used by Attach to put the action
+// under the shared governor.
+func AttachGatedSelfInvalidation(m *machine.Machine, nodes int, cfg core.Config, g stache.Gate) (*SelfInvalidator, error) {
+	s, err := AttachSelfInvalidation(m, nodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.gate = g
+	return s, nil
+}
+
 // SelfInvalidations returns how many blocks were proactively returned.
 func (s *SelfInvalidator) SelfInvalidations() uint64 { return s.evicted }
 
@@ -58,6 +76,11 @@ func (s *SelfInvalidator) SelfInvalidations() uint64 { return s.evicted }
 // and update the candidate set.
 func (s *SelfInvalidator) ObserveCache(n coherence.NodeID, msg coherence.Msg) {
 	p := s.preds[n]
+	if s.gate != nil {
+		if pred, ok := p.Predict(msg.Addr); ok {
+			s.gate.Observe(msg.Addr, pred == msg.Tuple())
+		}
+	}
 	p.Update(msg.Addr, msg.Tuple())
 	if pred, ok := p.Predict(msg.Addr); ok && pred.Type == coherence.InvalRWReq {
 		s.candidates[n][msg.Addr] = true
@@ -75,8 +98,16 @@ func (s *SelfInvalidator) ObserveDirectory(coherence.NodeID, coherence.Msg) {}
 func (s *SelfInvalidator) EndIteration(int) {
 	for n, cands := range s.candidates {
 		node := coherence.NodeID(n)
+		// Sorted order keeps the eviction (and gate-decision) sequence
+		// independent of map iteration order.
+		addrs := make([]coherence.Addr, 0, len(cands))
 		for addr := range cands {
-			if s.m.Cache(node).State(addr) == stache.CacheReadWrite {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, addr := range addrs {
+			if s.m.Cache(node).State(addr) == stache.CacheReadWrite &&
+				(s.gate == nil || s.gate.Allow(stache.SpecDSI, addr)) {
 				s.m.Cache(node).Evict(addr)
 				s.evicted++
 			}

@@ -89,10 +89,18 @@ func Table2() []ActionSpec {
 			Implemented: true,
 		},
 		{
-			Name:       "producer push",
-			Prediction: "after a producer's write-back, consumers' get_ro_requests follow",
-			Action:     "forward the block to the predicted consumers speculatively",
-			Class:      ProtocolRollback,
+			Name:        "speculative downgrade",
+			Prediction:  "an exclusive block's next message is a get_ro_request from a third party",
+			Action:      "fetch the block back from the owner before the read arrives; the pending expectation is discarded on the next real message",
+			Class:       ProtocolRollback,
+			Implemented: true,
+		},
+		{
+			Name:        "producer push",
+			Prediction:  "after a producer's write-back, consumers' get_ro_requests follow",
+			Action:      "forward the block to the predicted consumers speculatively; unclaimed copies are discarded on invalidation or at reconcile",
+			Class:       ProtocolRollback,
+			Implemented: true,
 		},
 		{
 			Name:       "speculative protocol sequence",

@@ -18,6 +18,12 @@ type cacheLine struct {
 	// afterWriteback re-issues an access that arrived while the
 	// line's writeback was still in flight.
 	afterWriteback func()
+	// spec marks a read-only copy that arrived by spec_push and has not
+	// yet been touched by the processor. A speculative copy is never
+	// processor-visible until the first real access *claims* it (which
+	// verifies the prediction); an invalidation before that point
+	// discards it as if it never existed.
+	spec bool
 }
 
 // Cache is the cache-controller half of the protocol at one node. It
@@ -52,6 +58,14 @@ type Cache struct {
 	upgradeMisses     uint64
 	invalidationsRecv uint64
 	evictions         uint64
+
+	// Speculation machinery (inert unless Options.Speculation and an
+	// attached gate).
+	spec         bool
+	gate         Gate
+	draining     bool
+	specClaims   uint64
+	specDiscards uint64
 }
 
 // NewCache creates the cache controller for node. local must be the
@@ -67,6 +81,7 @@ func NewCache(node coherence.NodeID, geom coherence.Geometry, sender Sender, loc
 		local:   local,
 		observe: observe,
 		lines:   make(map[coherence.Addr]*cacheLine),
+		spec:    opts.Speculation,
 	}
 	if opts.CacheBlocks > 0 {
 		assoc := opts.CacheAssoc
@@ -85,6 +100,70 @@ func NewCache(node coherence.NodeID, geom coherence.Geometry, sender Sender, loc
 
 // Evictions returns how many lines replacement has pushed out.
 func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// AttachGate wires the speculation governor into this cache so
+// claimed and discarded pushed copies are scored (SpecForward
+// outcomes). The DSI action also consults the same gate, but from
+// internal/speculate — the cache itself takes no speculative actions.
+func (c *Cache) AttachGate(g Gate) { c.gate = g }
+
+// BeginDrain tells the cache the workload is over: spec_push messages
+// still in flight are dropped on arrival instead of installing fresh
+// speculative copies while the machine reconciles and drains.
+func (c *Cache) BeginDrain() { c.draining = true }
+
+// Spec reports whether addr is held as an unclaimed speculative copy.
+func (c *Cache) Spec(addr coherence.Addr) bool {
+	l, ok := c.lines[c.geom.Block(addr)]
+	return ok && l.spec
+}
+
+// SpecStats returns (pushed copies claimed by a real access, pushed
+// copies discarded unclaimed).
+func (c *Cache) SpecStats() (claims, discards uint64) {
+	return c.specClaims, c.specDiscards
+}
+
+// DiscardSpec drops an unclaimed speculative copy as if the push never
+// happened, scoring it as a misprediction. Used by the end-of-run
+// reconciler; a no-op if the line is not speculative.
+func (c *Cache) DiscardSpec(addr coherence.Addr) {
+	addr = c.geom.Block(addr)
+	l, ok := c.lines[addr]
+	if !ok || !l.spec {
+		return
+	}
+	l.spec = false
+	l.state = CacheInvalid
+	c.specDiscards++
+	if c.gate != nil {
+		c.gate.Record(SpecForward, addr, false)
+	}
+}
+
+// CorruptSpec forcibly plants an unclaimed speculative read-only copy,
+// bypassing the protocol. Like CorruptState it exists only so
+// invariant tests and the cosmos-chaos spec-dangling self-check can
+// verify that leaked speculative state is detected.
+func (c *Cache) CorruptSpec(addr coherence.Addr) {
+	l := c.line(c.geom.Block(addr))
+	l.state = CacheReadOnly
+	l.spec = true
+}
+
+// claimSpec converts a speculative copy into a real one on the first
+// processor access, which is the moment the producer-push prediction
+// is proven right.
+func (c *Cache) claimSpec(addr coherence.Addr, l *cacheLine) {
+	if !l.spec {
+		return
+	}
+	l.spec = false
+	c.specClaims++
+	if c.gate != nil {
+		c.gate.Record(SpecForward, addr, true)
+	}
+}
 
 // setOf returns the set index for a block address.
 func (c *Cache) setOf(addr coherence.Addr) int {
@@ -273,6 +352,7 @@ func (c *Cache) Access(addr coherence.Addr, write bool, done func()) {
 	switch {
 	case !write && l.state != CacheInvalid:
 		c.touch(addr)
+		c.claimSpec(addr, l)
 		done() // read hit on RO or RW
 	case write && l.state == CacheReadWrite:
 		c.touch(addr)
@@ -285,6 +365,7 @@ func (c *Cache) Access(addr coherence.Addr, write bool, done func()) {
 	case l.state == CacheReadOnly: // write to shared copy
 		c.upgradeMisses++
 		c.touch(addr)
+		c.claimSpec(addr, l)
 		l.pending, l.done = pendUpgrade, done
 		c.send(home, coherence.UpgradeReq, addr)
 	default: // write miss from invalid
@@ -334,6 +415,15 @@ func (c *Cache) Deliver(msg coherence.Msg) {
 		// A silently dropped (replaced) copy still gets acknowledged.
 		c.expect(l, msg, l.state != CacheReadWrite)
 		c.invalidationsRecv++
+		if l.spec {
+			// An unclaimed pushed copy dies here: the next real event for
+			// the block was a third party's write, so the push was wrong.
+			l.spec = false
+			c.specDiscards++
+			if c.gate != nil {
+				c.gate.Record(SpecForward, msg.Addr, false)
+			}
+		}
 		if l.state == CacheReadOnly && l.pending == pendNone {
 			c.release(msg.Addr)
 		}
@@ -366,6 +456,20 @@ func (c *Cache) Deliver(msg coherence.Msg) {
 		if retry := l.afterWriteback; retry != nil {
 			l.afterWriteback = nil
 			retry()
+		}
+
+	case coherence.SpecPush:
+		// Install the pushed block as a speculative read-only copy, but
+		// only when the line is completely untouched — no stable copy, no
+		// outstanding transaction — the cache is unbounded (so no
+		// replacement interactions), and the run is not draining. In
+		// every other case the push is dropped silently; the directory's
+		// sharer bit stays conservative (extra invalidations are legal)
+		// and is reconciled at the end of the run.
+		if c.spec && !c.draining && c.sets == nil &&
+			l.state == CacheInvalid && l.pending == pendNone {
+			l.state = CacheReadOnly
+			l.spec = true
 		}
 
 	default:

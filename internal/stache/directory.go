@@ -18,6 +18,19 @@ type dirEntry struct {
 	current  pendingReq
 	acksLeft int
 	queue    []pendingReq
+	// specPushed marks which sharer bits exist only because of a
+	// speculative spec_push (Table 2's producer-push action). They are
+	// ordinary sharers to the protocol — invalidated like any other on
+	// a write — but the reconciler uses the mark to drop bits whose
+	// pushed copy was never claimed.
+	specPushed nodeSet
+	// expect, when not NoNode, records that a speculative downgrade
+	// completed and the directory is waiting to see whether the next
+	// real request is the predicted read from this node. The
+	// expectation is resolved (scored and cleared) by the very next
+	// request, whatever it is — ProtocolRollback's "detected as
+	// mispredicted on the next incoming protocol message".
+	expect coherence.NodeID
 }
 
 // Directory is the directory-controller half of the protocol at one
@@ -40,6 +53,44 @@ type Directory struct {
 
 	oracle       Oracle
 	speculations uint64
+
+	// Speculative-action machinery (nil/zero unless AttachSpeculation
+	// ran; the base protocol path never consults it).
+	gate        Gate
+	actions     SpecActions
+	draining    bool
+	specFetches uint64
+	specPushes  uint64
+}
+
+// AttachSpeculation installs a predictor, a speculation gate, and an
+// action set beside this directory, enabling the ProtocolRollback
+// actions of Section 4.3 in addition to the gate-approved
+// read-modify-write grant. The rollback actions require
+// Options.Speculation: without it the protocol promises a
+// bit-identical message stream to a speculation-free build, and the
+// invariant monitor holds it to that promise.
+func (d *Directory) AttachSpeculation(o Oracle, g Gate, acts SpecActions) {
+	if g == nil {
+		panic("stache: AttachSpeculation with nil gate")
+	}
+	if (acts.Downgrade || acts.Forward) && !d.opts.Speculation {
+		panic("stache: rollback-class actions require Options.Speculation")
+	}
+	d.oracle = o
+	d.gate = g
+	d.actions = acts
+}
+
+// BeginDrain tells the directory the workload is over: no further
+// speculative state may be created while the machine drains in-flight
+// messages and reconciles what speculation is still outstanding.
+func (d *Directory) BeginDrain() { d.draining = true }
+
+// SpecStats returns (speculative fetch-backs started, spec_push
+// messages sent).
+func (d *Directory) SpecStats() (fetches, pushes uint64) {
+	return d.specFetches, d.specPushes
 }
 
 // AttachOracle installs a predictor beside this directory, enabling
@@ -63,8 +114,14 @@ func (d *Directory) speculateRMW(addr coherence.Addr, req pendingReq) bool {
 	if d.oracle == nil || req.node == d.node {
 		return false
 	}
+	if d.gate != nil && !d.actions.RMW {
+		return false
+	}
 	pred, ok := d.oracle.PredictNext(addr)
-	return ok && pred.Sender == req.node && pred.Type == coherence.UpgradeReq
+	if !ok || pred.Sender != req.node || pred.Type != coherence.UpgradeReq {
+		return false
+	}
+	return d.gate == nil || d.gate.Allow(SpecRMW, addr)
 }
 
 // NewDirectory creates the directory controller for node. observe may
@@ -96,7 +153,7 @@ func (d *Directory) Stats() (transactions, invalsSent, localHits, queued uint64)
 func (d *Directory) entry(addr coherence.Addr) *dirEntry {
 	e, ok := d.entries[addr]
 	if !ok {
-		e = &dirEntry{owner: coherence.NoNode}
+		e = &dirEntry{owner: coherence.NoNode, expect: coherence.NoNode}
 		d.entries[addr] = e
 	}
 	return e
@@ -193,40 +250,66 @@ type EntryInfo struct {
 	Requestor coherence.NodeID
 	AcksLeft  int
 	Queued    int
+	// SpecPushed lists sharers whose copy arrived by speculative push
+	// and has not been claimed or reconciled; SpecExpect is the node a
+	// completed speculative downgrade predicts will read next (NoNode
+	// when no expectation is armed). Both empty on non-speculative runs.
+	SpecPushed []coherence.NodeID
+	SpecExpect coherence.NodeID
 }
 
 // String renders the snapshot for diagnostics, e.g.
 // "exclusive owner=P2" or "busy for P1 (2 acks left, 1 queued)".
 func (e EntryInfo) String() string {
+	var s string
 	switch e.State {
 	case EntryIdle:
-		return "idle"
+		s = "idle"
 	case EntryShared:
-		s := "shared{"
+		s = "shared{"
 		for i, n := range e.Sharers {
 			if i > 0 {
 				s += ","
 			}
 			s += n.String()
 		}
-		return s + "}"
+		s += "}"
 	case EntryExclusive:
-		return "exclusive owner=" + e.Owner.String()
+		s = "exclusive owner=" + e.Owner.String()
 	case EntryBusy:
-		return fmt.Sprintf("busy for %v (%d acks left, %d queued)", e.Requestor, e.AcksLeft, e.Queued)
+		s = fmt.Sprintf("busy for %v (%d acks left, %d queued)", e.Requestor, e.AcksLeft, e.Queued)
+	default:
+		return fmt.Sprintf("EntryInfo(state=%d)", uint8(e.State))
 	}
-	return fmt.Sprintf("EntryInfo(state=%d)", uint8(e.State))
+	if len(e.SpecPushed) > 0 {
+		s += " spec_pushed{"
+		for i, n := range e.SpecPushed {
+			if i > 0 {
+				s += ","
+			}
+			s += n.String()
+		}
+		s += "}"
+	}
+	if e.SpecExpect != coherence.NoNode {
+		s += " spec_expect=" + e.SpecExpect.String()
+	}
+	return s
 }
 
 // snapshot converts the internal entry to its exported form.
 func (d *Directory) snapshot(addr coherence.Addr, e *dirEntry) EntryInfo {
 	info := EntryInfo{
-		Addr:      addr,
-		Owner:     e.owner,
-		Requestor: coherence.NoNode,
-		AcksLeft:  e.acksLeft,
-		Queued:    len(e.queue),
+		Addr:       addr,
+		Owner:      e.owner,
+		Requestor:  coherence.NoNode,
+		AcksLeft:   e.acksLeft,
+		Queued:     len(e.queue),
+		SpecExpect: e.expect,
 	}
+	e.specPushed.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+		info.SpecPushed = append(info.SpecPushed, n)
+	})
 	switch e.state {
 	case dirIdle:
 		info.State = EntryIdle
@@ -275,6 +358,7 @@ func (d *Directory) CorruptOwner(addr coherence.Addr, n coherence.NodeID) {
 	e.state = dirExclusive
 	e.owner = n
 	e.sharers = 0
+	e.specPushed = 0
 }
 
 // CorruptAddSharer forcibly adds a phantom sharer bit for n to addr's
@@ -362,6 +446,7 @@ func (d *Directory) LocalAccess(addr coherence.Addr, write bool, done func()) {
 		return
 	}
 	d.start(addr, e, req)
+	d.trySpeculate(addr, e)
 }
 
 // Deliver handles a message from a cache controller. It must only be
@@ -372,6 +457,15 @@ func (d *Directory) Deliver(msg coherence.Msg) {
 	}
 	if d.geom.Home(msg.Addr) != d.node {
 		panic(fmt.Sprintf("stache: %v received %v for block homed at %v", d.node, msg, d.geom.Home(msg.Addr)))
+	}
+	if d.gate != nil && d.oracle != nil {
+		// Score the standing prediction against the message that actually
+		// arrived — before observe() lets the predictor train on it. This
+		// is the governor's view of raw prediction accuracy, feeding the
+		// misprediction-rate circuit breaker.
+		if pred, ok := d.oracle.PredictNext(msg.Addr); ok {
+			d.gate.Observe(msg.Addr, pred == msg.Tuple())
+		}
 	}
 	d.observe(msg)
 	e := d.entry(msg.Addr)
@@ -411,12 +505,99 @@ func (d *Directory) Deliver(msg coherence.Msg) {
 	default:
 		panic(fmt.Sprintf("stache: directory cannot handle %v", msg))
 	}
+	d.trySpeculate(msg.Addr, e)
+}
+
+// trySpeculate considers the two ProtocolRollback actions of Table 2
+// for one block, using whatever prediction stands after the event that
+// just completed. It only fires on a settled entry (not busy, nothing
+// queued) so a wrong guess perturbs no in-flight transaction — the
+// speculative state it creates is exactly the state the next real
+// message (or the end-of-run reconciler) discards.
+func (d *Directory) trySpeculate(addr coherence.Addr, e *dirEntry) {
+	if d.gate == nil || d.oracle == nil || d.draining {
+		return
+	}
+	if !d.actions.Downgrade && !d.actions.Forward {
+		return
+	}
+	if e.state == dirBusy || len(e.queue) > 0 {
+		return
+	}
+	pred, ok := d.oracle.PredictNext(addr)
+	if !ok || pred.Type != coherence.GetROReq {
+		return
+	}
+	p := pred.Sender
+	if p == d.node || p < 0 || int(p) >= d.geom.Nodes() {
+		return
+	}
+	switch e.state {
+	case dirExclusive:
+		// Speculative downgrade: fetch the block home ahead of the
+		// predicted third-party read, so the read is served in two hops
+		// instead of four. Skip when the predicted reader is the owner
+		// (its read would hit locally) or the home (served without
+		// messages).
+		if !d.actions.Downgrade || e.owner == d.node || e.owner == p {
+			return
+		}
+		if !d.gate.Allow(SpecDowngrade, addr) {
+			return
+		}
+		t := coherence.InvalRWReq
+		if !d.opts.HalfMigratory {
+			t = coherence.DowngradeReq
+		}
+		owner := e.owner
+		e.current = pendingReq{node: p, kind: reqSpecFetch}
+		e.acksLeft = 1
+		e.state = dirBusy
+		d.specFetches++
+		d.sendInval(owner, t, addr, p, coherence.MsgInvalid)
+
+	case dirIdle, dirShared:
+		// Producer push: send the predicted reader a read-only copy
+		// before it asks. The pushed node becomes a real sharer (so SWMR
+		// accounting holds) marked specPushed (so an unclaimed copy can
+		// be reconciled away).
+		if !d.actions.Forward || e.sharers.has(p) || e.specPushed.has(p) {
+			return
+		}
+		if !d.gate.Allow(SpecForward, addr) {
+			return
+		}
+		e.state = dirShared
+		e.sharers.add(p)
+		e.specPushed.add(p)
+		if e.expect == p {
+			// The push satisfies the expected read out of band: the
+			// predicted reader will now hit in its own cache, so no
+			// message can ever confirm the downgrade expectation. Drop
+			// it unscored — the forward's claim/discard is what gets
+			// recorded instead.
+			e.expect = coherence.NoNode
+		}
+		d.specPushes++
+		d.sender.Send(coherence.Msg{Src: d.node, Dst: p, Type: coherence.SpecPush, Addr: addr})
+
+	case dirBusy:
+		// Filtered above: a busy entry never speculates.
+	}
 }
 
 // start begins serving req on a non-busy entry. If remote copies must
 // be invalidated or downgraded first, the entry goes busy and the grant
 // is deferred to finish(); otherwise the grant is immediate.
 func (d *Directory) start(addr coherence.Addr, e *dirEntry, req pendingReq) {
+	if e.expect != coherence.NoNode {
+		// The next real message after a speculative downgrade verifies
+		// it: correct iff it is the predicted read from the predicted
+		// node. Either way the expectation is consumed — the rollback
+		// class never carries speculative state past one message.
+		d.gate.Record(SpecDowngrade, addr, req.node == e.expect && req.kind == reqRead)
+		e.expect = coherence.NoNode
+	}
 	d.transactions++
 	switch req.kind {
 	case reqRead:
@@ -427,6 +608,11 @@ func (d *Directory) start(addr coherence.Addr, e *dirEntry, req pendingReq) {
 		d.startUpgrade(addr, e, req)
 	case reqWriteback:
 		d.startWriteback(addr, e, req)
+	case reqSpecFetch:
+		// Spec fetches are installed on the entry directly by
+		// trySpeculate and resolved in finish; they are never queued, so
+		// none can reach start.
+		panic("stache: reqSpecFetch reached start")
 	}
 }
 
@@ -445,6 +631,14 @@ func (d *Directory) startRead(addr coherence.Addr, e *dirEntry, req pendingReq) 
 		d.grant(addr, req, coherence.GetROResp)
 
 	case dirShared:
+		if e.specPushed.has(req.node) {
+			// A real read from a node we pushed to: its cache dropped the
+			// push (or the request raced ahead of it). The prediction was
+			// right even though the pushed copy went unused; from here on
+			// the node is an ordinary sharer.
+			e.specPushed.remove(req.node)
+			d.gate.Record(SpecForward, addr, true)
+		}
 		e.sharers.add(req.node)
 		d.grant(addr, req, coherence.GetROResp)
 
@@ -545,6 +739,7 @@ func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq,
 		if len(targets) == 0 {
 			e.state = dirExclusive
 			e.sharers = 0
+			e.specPushed = 0
 			e.owner = req.node
 			d.grant(addr, req, grantT)
 			return
@@ -625,9 +820,38 @@ func (d *Directory) finish(addr coherence.Addr, e *dirEntry) {
 
 	case reqWrite, reqUpgrade:
 		e.sharers = 0
+		e.specPushed = 0
 		e.owner = req.node
 		e.state = dirExclusive
 		d.grantDeferred(addr, e, req, req.grantT)
+
+	case reqSpecFetch:
+		// A speculative downgrade completed: the block is home again and
+		// req.node is only the *predicted* reader — nobody is owed a
+		// grant. Settle the entry, then either score the prediction
+		// against a request that raced in while we were busy, or arm the
+		// expectation the next real message will resolve.
+		e.sharers = 0
+		e.specPushed = 0
+		if !d.opts.HalfMigratory && e.owner != coherence.NoNode {
+			e.sharers.add(e.owner)
+		}
+		e.owner = coherence.NoNode
+		if e.sharers.empty() {
+			e.state = dirIdle
+		} else {
+			e.state = dirShared
+		}
+		if len(e.queue) > 0 {
+			d.gate.Record(SpecDowngrade, addr, e.queue[0].node == req.node && e.queue[0].kind == reqRead)
+		} else if !d.draining {
+			e.expect = req.node
+		}
+		for e.state != dirBusy && len(e.queue) > 0 {
+			next := e.queue[0]
+			e.queue = e.queue[1:]
+			d.start(addr, e, next)
+		}
 
 	default:
 		panic(fmt.Sprintf("stache: finish with kind %d", req.kind))
@@ -672,4 +896,62 @@ func (d *Directory) sendInval(dst coherence.NodeID, t coherence.MsgType, addr co
 // complete by callback and always go through the directory.
 func (d *Directory) forwardable(req pendingReq) bool {
 	return d.opts.Forwarding && req.done == nil
+}
+
+// SpecRecord describes the speculative bookkeeping still outstanding
+// for one block: sharer bits that exist only because of an unclaimed
+// push, and an unresolved downgrade expectation.
+type SpecRecord struct {
+	Addr   coherence.Addr
+	Pushed []coherence.NodeID
+	Expect coherence.NodeID
+}
+
+// SpecOutstanding returns every entry with live speculative state,
+// ordered by address. The end-of-run reconciler walks this list after
+// BeginDrain; the invariant monitor requires it empty at quiesce.
+func (d *Directory) SpecOutstanding() []SpecRecord {
+	var out []SpecRecord
+	for addr, e := range d.entries {
+		if e.specPushed == 0 && e.expect == coherence.NoNode {
+			continue
+		}
+		r := SpecRecord{Addr: addr, Expect: e.expect}
+		e.specPushed.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+			r.Pushed = append(r.Pushed, n)
+		})
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ResolveSpecPush settles the push bookkeeping for node n on addr.
+// dropSharer discards the sharer bit too (the pushed copy was never
+// claimed and has been — or will on arrival be — dropped by the
+// cache); otherwise the bit survives as an ordinary sharer (the copy
+// was claimed by a real read). A busy entry only has its mark cleared:
+// finish() rewrites the sharer set anyway.
+func (d *Directory) ResolveSpecPush(addr coherence.Addr, n coherence.NodeID, dropSharer bool) {
+	e, ok := d.entries[d.geom.Block(addr)]
+	if !ok {
+		return
+	}
+	e.specPushed.remove(n)
+	if !dropSharer || e.state == dirBusy {
+		return
+	}
+	e.sharers.remove(n)
+	if e.state == dirShared && e.sharers.empty() {
+		e.state = dirIdle
+	}
+}
+
+// ResolveSpecExpect discards an unresolved downgrade expectation on
+// addr without scoring it (used by the end-of-run reconciler, where no
+// further message can ever arrive to verify it).
+func (d *Directory) ResolveSpecExpect(addr coherence.Addr) {
+	if e, ok := d.entries[d.geom.Block(addr)]; ok {
+		e.expect = coherence.NoNode
+	}
 }

@@ -62,6 +62,14 @@ type Options struct {
 	// "should have no first-order effect on coherence prediction's
 	// usability"; the ForwardingComparison experiment tests that.
 	Forwarding bool
+	// Speculation permits the ProtocolRollback-class actions of
+	// Section 4.3 — speculative downgrade/fetch-back and producer push
+	// (spec_push messages) — once an oracle and gate are attached with
+	// AttachSpeculation. With the option off the protocol never carries
+	// speculative state and the message path is bit-identical to a
+	// build without this machinery; the invariant monitor enforces that
+	// (a spec_push on a non-speculative run is a legality violation).
+	Speculation bool
 }
 
 // Oracle is the hook through which a predictor sitting beside a
@@ -77,6 +85,66 @@ type Oracle interface {
 // DefaultOptions returns the configuration the paper evaluated:
 // half-migratory enabled.
 func DefaultOptions() Options { return Options{HalfMigratory: true} }
+
+// SpecAction identifies one speculative protocol action for gating and
+// statistics. The directory performs RMW, Downgrade, and Forward; DSI
+// lives cache-side (internal/speculate's SelfInvalidator) but shares
+// the gate so one governor covers the whole machine.
+type SpecAction uint8
+
+const (
+	// SpecRMW is the read-modify-write exclusive grant (NoRecovery).
+	SpecRMW SpecAction = iota
+	// SpecDSI is Cosmos-driven dynamic self-invalidation (NoRecovery).
+	SpecDSI
+	// SpecDowngrade speculatively fetches an exclusive block back to
+	// the directory ahead of a predicted third-party read
+	// (ProtocolRollback: the pending expectation is discarded on the
+	// next real message).
+	SpecDowngrade
+	// SpecForward pushes a block to a predicted requestor before any
+	// request arrives (ProtocolRollback: the pushed copy and its
+	// directory bookkeeping are discarded on mis-prediction).
+	SpecForward
+	// NumSpecActions sizes dense per-action tables.
+	NumSpecActions
+)
+
+func (a SpecAction) String() string {
+	switch a {
+	case SpecRMW:
+		return "rmw"
+	case SpecDSI:
+		return "dsi"
+	case SpecDowngrade:
+		return "downgrade"
+	case SpecForward:
+		return "forward"
+	}
+	return fmt.Sprintf("SpecAction(%d)", uint8(a))
+}
+
+// SpecActions selects which directory-side actions AttachSpeculation
+// enables.
+type SpecActions struct {
+	RMW       bool
+	Downgrade bool
+	Forward   bool
+}
+
+// Gate is the hook through which a speculation governor
+// (internal/governor) authorizes individual actions and learns how the
+// machine's predictions are faring. The protocol calls Observe with
+// the outcome of every verifiable prediction (made *before* the
+// predictor trains on the message), Allow exactly once per action it
+// is about to take, and Record with every verified action outcome —
+// an expectation met or missed, a pushed copy claimed or discarded.
+// All three must be deterministic functions of the call sequence.
+type Gate interface {
+	Observe(addr coherence.Addr, correct bool)
+	Allow(a SpecAction, addr coherence.Addr) bool
+	Record(a SpecAction, addr coherence.Addr, correct bool)
+}
 
 // Sender abstracts the interconnect so the protocol can be unit-tested
 // without a full machine.
@@ -156,6 +224,11 @@ const (
 	reqWrite
 	reqUpgrade
 	reqWriteback
+	// reqSpecFetch is a speculative downgrade/fetch-back of an
+	// exclusive block, started by the directory itself on the oracle's
+	// advice rather than by a request message. Its pendingReq.node is
+	// the *predicted* next reader — nobody is owed a grant.
+	reqSpecFetch
 )
 
 // pendingReq is a directory request that is queued or in flight.
