@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 cosmosvet:
-	$(GO) run ./cmd/cosmosvet ./...
+	$(GO) run ./cmd/cosmosvet -allow-report ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis"
+)
+
+// capture runs run() with a temp file as stdout and returns the exit
+// code, the printed output, and the error.
+func capture(t *testing.T, args []string) (int, string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	code, runErr := run(args, f)
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out), runErr
+}
+
+// TestList pins that -list names every analyzer of the suite.
+func TestList(t *testing.T) {
+	code, out, err := capture(t, []string{"-list"})
+	if err != nil || code != 0 {
+		t.Fatalf("-list: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"determinism", "exhaustive", "hotpath", "immutability", "transition"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestUnknownAnalyzer pins the error for a bad -analyzers subset.
+func TestUnknownAnalyzer(t *testing.T) {
+	_, _, err := capture(t, []string{"-analyzers", "nope", "./."})
+	if err == nil || !strings.Contains(err.Error(), `unknown analyzer "nope"`) {
+		t.Errorf("err = %v, want unknown analyzer error", err)
+	}
+}
+
+// TestConfigFlag pins the -config value syntax.
+func TestConfigFlag(t *testing.T) {
+	c := configFlags{}
+	if err := c.Set("hotpath.maxdepth=4"); err != nil {
+		t.Errorf("valid -config rejected: %v", err)
+	}
+	if c["hotpath.maxdepth"] != "4" {
+		t.Errorf("config = %v, want hotpath.maxdepth=4 recorded", c)
+	}
+	for _, bad := range []string{"maxdepth=4", "hotpath.maxdepth"} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("malformed -config %q accepted", bad)
+		}
+	}
+}
+
+// writeDiags writes a JSON diagnostics file for ratchet tests.
+func writeDiags(t *testing.T, dir, name string, diags []analysis.JSONDiagnostic) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := writeJSONFile(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRatchet pins the offline compare: identical files pass, a
+// finding absent from the baseline fails, and a baselined finding may
+// move within its file without tripping the gate.
+func TestRatchet(t *testing.T) {
+	dir := t.TempDir()
+	finding := analysis.JSONDiagnostic{
+		Analyzer: "hotpath", File: "pkg/a.go", Line: 10, Column: 2,
+		Message: "hot path f: make allocates",
+	}
+	moved := finding
+	moved.Line = 99
+	fresh := analysis.JSONDiagnostic{
+		Analyzer: "transition", File: "pkg/b.go", Line: 3, Column: 1,
+		Message: "spec hole: no disposition declared for (A, B) in the t table",
+	}
+
+	base := writeDiags(t, dir, "base.json", []analysis.JSONDiagnostic{finding})
+	same := writeDiags(t, dir, "same.json", []analysis.JSONDiagnostic{moved})
+	grew := writeDiags(t, dir, "grew.json", []analysis.JSONDiagnostic{moved, fresh})
+
+	code, out, err := capture(t, []string{"-ratchet", base, same})
+	if err != nil || code != 0 {
+		t.Errorf("moved-but-baselined finding failed the ratchet: code=%d err=%v\n%s", code, err, out)
+	}
+	code, out, err = capture(t, []string{"-ratchet", base, grew})
+	if err != nil || code != 1 {
+		t.Errorf("new finding passed the ratchet: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out, "spec hole") || !strings.Contains(out, "1 new") {
+		t.Errorf("ratchet output does not name the new finding:\n%s", out)
+	}
+
+	if _, _, err := capture(t, []string{"-ratchet", base}); err == nil {
+		t.Error("-ratchet with one file accepted, want usage error")
+	}
+}
+
+// TestJSONRoundtrip pins that a written diagnostics file decodes to
+// the same findings.
+func TestJSONRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := []analysis.JSONDiagnostic{
+		{Analyzer: "determinism", File: "x.go", Line: 1, Column: 1, Message: "wall clock"},
+		{Analyzer: "exhaustive", File: "y.go", Line: 2, Column: 5, Message: "missing case"},
+	}
+	path := writeDiags(t, dir, "d.json", diags)
+	got, err := readJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("roundtrip: got %d diagnostics, want %d", len(got), len(diags))
+	}
+	for i := range got {
+		if got[i] != diags[i] {
+			t.Errorf("roundtrip[%d] = %+v, want %+v", i, got[i], diags[i])
+		}
+	}
+}

@@ -56,6 +56,37 @@ type Pass struct {
 	ModulePath string
 
 	report func(Diagnostic)
+	config map[string]string
+	cg     *CallGraph
+}
+
+// Config returns the value of a per-analyzer option, or def when the
+// run set none. Options are namespaced "<analyzer>.<key>" in
+// RunOptions.Config (and on the cosmosvet -config flag); an analyzer
+// asks for its own options by bare key.
+func (p *Pass) Config(key, def string) string {
+	if v, ok := p.config[p.Analyzer.Name+"."+key]; ok {
+		return v
+	}
+	return def
+}
+
+// ConfigInt is Config for integer-valued options. Malformed values
+// fall back to def: a typo on the command line must not silently
+// disable a check by erroring the whole run.
+func (p *Pass) ConfigInt(key string, def int) int {
+	v := p.Config(key, "")
+	if v == "" {
+		return def
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
 }
 
 // Reportf records a finding at pos.

@@ -1,0 +1,22 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis/analysistest"
+	"github.com/cosmos-coherence/cosmos/internal/analysis/hotpath"
+)
+
+// TestHotpath pins every finding class against the hot fixture: each
+// allocating construct, the loops-only scope, all three boxing forms,
+// the panic exemption, and a chain diagnostic two calls deep.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hot")
+}
+
+// TestHotpathClean requires silence on genuinely allocation-free code,
+// even when the package contains allocating functions no hot path
+// reaches.
+func TestHotpathClean(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hotclean")
+}

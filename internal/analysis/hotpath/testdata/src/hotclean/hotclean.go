@@ -1,0 +1,48 @@
+// Package hotclean is an allocation-free hot path: index arithmetic,
+// in-place swaps, and fixed-capacity writes only. The hotpath analyzer
+// must report nothing, including in the un-annotated helper that does
+// allocate — it is outside every hot path's closure.
+package hotclean
+
+type entry struct{ key, prio int }
+
+type ring struct {
+	buf  []entry
+	head int
+	tail int
+}
+
+//cosmosvet:hotpath
+func (r *ring) push(e entry) bool {
+	next := (r.tail + 1) % len(r.buf)
+	if next == r.head {
+		return false
+	}
+	r.buf[r.tail] = e
+	r.tail = next
+	return true
+}
+
+//cosmosvet:hotpath
+func (r *ring) pop() (entry, bool) {
+	if r.head == r.tail {
+		return entry{}, false
+	}
+	e := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	return e, true
+}
+
+//cosmosvet:hotpath loops
+func sumPrio(r *ring) int {
+	t := 0
+	for i := r.head; i != r.tail; i = (i + 1) % len(r.buf) {
+		t += r.buf[i].prio
+	}
+	return t
+}
+
+// grow allocates, but nothing annotated reaches it.
+func grow(r *ring) {
+	r.buf = append(r.buf, entry{})
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// JSONDiagnostic is the machine-readable form of a finding, written by
+// `cosmosvet -json` and consumed by the CI ratchet. File paths are
+// stored relative to the module root whenever possible so a baseline
+// committed from one checkout compares cleanly in another.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional go-vet form.
+func (d JSONDiagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// ToJSON converts diagnostics to their serializable form, relativizing
+// file paths against baseDir (typically the working directory cosmosvet
+// ran in). Paths outside baseDir stay absolute.
+func ToJSON(diags []Diagnostic, baseDir string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, file); err == nil && filepath.IsLocal(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// EncodeJSON writes diagnostics as a JSON array (never null: an empty
+// run encodes as [] so downstream tooling can always range over it).
+func EncodeJSON(w io.Writer, diags []JSONDiagnostic) error {
+	if diags == nil {
+		diags = []JSONDiagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// DecodeJSON reads a diagnostics array written by EncodeJSON.
+func DecodeJSON(r io.Reader) ([]JSONDiagnostic, error) {
+	var diags []JSONDiagnostic
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&diags); err != nil {
+		return nil, fmt.Errorf("analysis: decoding diagnostics: %w", err)
+	}
+	return diags, nil
+}
+
+// ratchetKey identifies a finding for baseline comparison. Line and
+// column are deliberately excluded: unrelated edits shift findings
+// around a file, and the ratchet must not fail CI because a baselined
+// finding moved ten lines down.
+type ratchetKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// Ratchet compares current findings against a committed baseline and
+// returns the ones not covered by it — the findings that are *new*.
+// Comparison is by (analyzer, file, message) multiset: each baseline
+// entry forgives one matching current finding, so duplicating a
+// baselined construct still trips the gate. Findings fixed since the
+// baseline simply stop matching; shrinking the baseline file is then a
+// separate, human-reviewed act (cosmosvet -write-baseline).
+func Ratchet(baseline, current []JSONDiagnostic) []JSONDiagnostic {
+	credit := make(map[ratchetKey]int, len(baseline))
+	for _, d := range baseline {
+		credit[ratchetKey{d.Analyzer, d.File, d.Message}]++
+	}
+	var fresh []JSONDiagnostic
+	for _, d := range current {
+		k := ratchetKey{d.Analyzer, d.File, d.Message}
+		if credit[k] > 0 {
+			credit[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		a, b := fresh[i], fresh[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	return fresh
+}

@@ -66,7 +66,15 @@ func Load(patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildPackages(listed)
+}
 
+// buildPackages parses and type-checks the target packages of one
+// `go list` result. Split from Load so the error paths — a listed
+// package carrying a load error, missing export data for an import,
+// unparseable sources, vendored dep-only packages — are testable
+// without fabricating go tool failures.
+func buildPackages(listed []*listedPackage) ([]*Package, error) {
 	// Export data for every dependency, keyed by import path.
 	exports := make(map[string]string, len(listed))
 	var targets []*listedPackage

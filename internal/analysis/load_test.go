@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadMissingPackage pins the error for a pattern that matches a
+// directory with no Go package: `go list -e` exits 0 and reports the
+// problem in the package's Error field, which Load must surface.
+func TestLoadMissingPackage(t *testing.T) {
+	_, err := Load([]string{"./this-directory-does-not-exist"})
+	if err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis: loading") {
+		t.Errorf("error = %q, want it to contain %q", err, "analysis: loading")
+	}
+}
+
+// TestLoadGoListFailure drives the go-list-failed path: an argument
+// the OS cannot even pass to the child process makes the command fail
+// with empty stderr, exercising the err.Error() fallback too.
+func TestLoadGoListFailure(t *testing.T) {
+	_, err := Load([]string{"./\x00"})
+	if err == nil {
+		t.Fatal("Load with a NUL-byte pattern succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis: go list") {
+		t.Errorf("error = %q, want it to contain %q", err, "analysis: go list")
+	}
+}
+
+// TestBuildPackagesListedError pins that a target package carrying a
+// go list load error aborts the build with that error.
+func TestBuildPackagesListedError(t *testing.T) {
+	listed := []*listedPackage{{
+		ImportPath: "example.com/broken",
+		Error:      &struct{ Err string }{Err: "no Go files"},
+	}}
+	_, err := buildPackages(listed)
+	if err == nil || !strings.Contains(err.Error(), "analysis: loading example.com/broken") {
+		t.Errorf("error = %v, want loading error for example.com/broken", err)
+	}
+}
+
+// TestBuildPackagesDepOnlyErrorSkipped pins the vendored/dep-only
+// tolerance: load errors on packages that are only dependencies (and
+// dep-only packages themselves) are skipped, not fatal.
+func TestBuildPackagesDepOnlyErrorSkipped(t *testing.T) {
+	listed := []*listedPackage{{
+		ImportPath: "example.com/vendored",
+		DepOnly:    true,
+		Error:      &struct{ Err string }{Err: "vendor inconsistency"},
+	}}
+	pkgs, err := buildPackages(listed)
+	if err != nil {
+		t.Fatalf("dep-only error was fatal: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Errorf("got %d packages from a dep-only listing, want 0", len(pkgs))
+	}
+}
+
+// TestBuildPackagesMissingExportData withholds fmt's export data from
+// a package that imports it; type-checking must fail with the lookup
+// error rather than silently resolving from source or GOPATH.
+func TestBuildPackagesMissingExportData(t *testing.T) {
+	listed := []*listedPackage{{
+		ImportPath: "example.com/importsfmt",
+		Dir:        "testdata/src/importsfmt",
+		Name:       "importsfmt",
+		GoFiles:    []string{"importsfmt.go"},
+	}}
+	_, err := buildPackages(listed)
+	if err == nil {
+		t.Fatal("type-checking without fmt export data succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis: type-checking") ||
+		!strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error = %q, want a type-checking error citing missing export data", err)
+	}
+}
+
+// TestBuildPackagesParseError feeds buildPackages an unparseable file.
+func TestBuildPackagesParseError(t *testing.T) {
+	listed := []*listedPackage{{
+		ImportPath: "example.com/badparse",
+		Dir:        "testdata/src/badparse",
+		Name:       "badparse",
+		GoFiles:    []string{"badparse.go"},
+	}}
+	_, err := buildPackages(listed)
+	if err == nil || !strings.Contains(err.Error(), "analysis: parsing badparse.go") {
+		t.Errorf("error = %v, want parse error for badparse.go", err)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -24,18 +25,40 @@ type RunOptions struct {
 	// single-analyzer test harness does not, since an allow aimed at
 	// another analyzer would falsely look stale.
 	Strict bool
+	// Config carries per-analyzer options, keyed "<analyzer>.<key>"
+	// (see Pass.Config). cosmosvet populates it from -config flags.
+	Config map[string]string
+}
+
+// AllowInfo describes one active //cosmosvet:allow escape hatch, for
+// the cosmosvet -allow-report mode: every suppression in the analyzed
+// packages, with its mandatory reason and whether it suppressed
+// anything in this run.
+type AllowInfo struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	Used     bool
 }
 
 // Run executes every analyzer over every package, applies
 // //cosmosvet:allow suppressions, and returns the surviving
 // diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	diags, _, err := RunWithInfo(pkgs, analyzers, opts)
+	return diags, err
+}
+
+// RunWithInfo is Run plus the list of every allow directive seen,
+// sorted by position, for suppression-audit reporting.
+func RunWithInfo(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, []AllowInfo, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 
 	var out []Diagnostic
+	var allAllows []AllowInfo
 	for _, pkg := range pkgs {
 		allows, malformed := collectAllows(pkg)
 		out = append(out, malformed...)
@@ -50,9 +73,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic,
 				TypesInfo:  pkg.Info,
 				ModulePath: pkg.ModulePath,
 				report:     func(d Diagnostic) { raw = append(raw, d) },
+				config:     opts.Config,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 
@@ -82,6 +106,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic,
 				}
 			}
 		}
+
+		for _, al := range allows {
+			allAllows = append(allAllows, AllowInfo{
+				Analyzer: al.analyzer,
+				Reason:   al.reason,
+				Pos:      al.pos.Pos,
+				Used:     al.used,
+			})
+		}
 	}
 
 	sort.Slice(out, func(i, j int) bool {
@@ -100,7 +133,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic,
 		}
 		return a.Message < b.Message
 	})
-	return out, nil
+	sort.Slice(allAllows, func(i, j int) bool {
+		a, b := allAllows[i], allAllows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, allAllows, nil
 }
 
 // matchAllow finds an unused-or-used allow covering d: same file, same

@@ -104,6 +104,15 @@ func TestInSimulationCore(t *testing.T) {
 		{mod + "/internal/coherence", false},
 		{mod + "/cmd/cosmos-tables", false},
 		{mod + "/internal/analysis/determinism/testdata/src/det", true},
+		{mod + "/internal/analysis/testdata/src/allowcheck", true},
+		// The testdata escape is anchored to the analyzer fixture
+		// roots: a testdata directory elsewhere in the module, or in a
+		// different module entirely, must not drag a package into the
+		// simulation-core scope.
+		{mod + "/internal/experiments/testdata/src/exp", false},
+		{mod + "/testdata/src/sim", false},
+		{"example.com/other/internal/analysis/determinism/testdata/src/det", false},
+		{"example.com/other/testdata/internal/sim", false},
 		{"example.com/other/internal/sim", false},
 	}
 	for _, c := range cases {

@@ -38,10 +38,15 @@ var simCorePackages = []string{
 }
 
 // InSimulationCore reports whether the package is part of the
-// deterministic simulation core. Packages under a testdata directory
-// are always in scope so analyzer fixtures exercise the checks.
+// deterministic simulation core. The analyzer test fixtures under
+// internal/analysis/.../testdata are always in scope so they can
+// exercise the checks; a testdata directory anywhere else in the
+// module (or in another module entirely) says nothing about
+// determinism requirements and is judged by the package list alone.
 func InSimulationCore(modulePath, pkgPath string) bool {
-	if strings.Contains(pkgPath, "/testdata/") {
+	if modulePath != "" &&
+		strings.HasPrefix(pkgPath, modulePath+"/internal/analysis/") &&
+		strings.Contains(pkgPath, "/testdata/") {
 		return true
 	}
 	for _, p := range simCorePackages {

@@ -1,0 +1,6 @@
+// Package badparse is deliberately unparseable: the loader's parse
+// error path test feeds it to buildPackages directly. Wildcard
+// patterns never match testdata, so the go tool itself never sees it.
+package badparse
+
+func broken( {

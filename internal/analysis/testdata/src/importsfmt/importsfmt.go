@@ -1,0 +1,10 @@
+// Package importsfmt exists for the loader's missing-export-data test:
+// type-checking it requires fmt's export data, which the test withholds.
+package importsfmt
+
+import "fmt"
+
+// Hello greets, pulling in fmt.
+func Hello(name string) string {
+	return fmt.Sprintf("hello, %s", name)
+}

@@ -1,0 +1,107 @@
+// Package trans exercises every transition-analyzer finding: spec
+// holes, unhandled live pairs, dead rows, handled-but-undeclared
+// messages, cross-table totality, and the state-mention rule.
+package trans
+
+type state uint8
+
+const (
+	stIdle state = iota
+	stBusy
+	stWait
+	numStates // count sentinel, exempt
+)
+
+type msg uint8
+
+const (
+	msgNone msg = iota // excluded by the directives
+	msgGet
+	msgPut
+	msgAck
+	msgNew // handled by Dir.Deliver but declared in no table
+)
+
+type disp uint8
+
+const (
+	dispOK disp = iota
+	dispQueue
+	dispReject
+)
+
+// row is (state, message, disposition).
+type row struct {
+	s state
+	m msg
+	d disp
+}
+
+// Dir's dispatch handles msgGet, msgAck, and msgNew; msgPut has no
+// case. stWait is never compared or switched on anywhere.
+type Dir struct {
+	st state
+	q  int
+}
+
+func (d *Dir) Deliver(m msg) {
+	switch m {
+	case msgGet:
+		if d.st == stBusy {
+			d.q++
+			return
+		}
+		d.handle()
+	case msgAck: // want `dir dispatch Dir.Deliver handles msgAck but every declared row rejects it`
+		d.resolve()
+	case msgNew: // want `dir dispatch Dir.Deliver handles msgNew but the spec table declares no transitions for it`
+		d.q = 0
+	default:
+		panic("unhandled")
+	}
+}
+
+func (d *Dir) handle() {
+	if d.st == stIdle {
+		d.q = 0
+	}
+}
+
+func (d *Dir) resolve() { d.q-- }
+
+//cosmosvet:transitions dir dispatch=Dir.Deliver reject=dispReject exclude=msgNone
+var dirTable = []row{ // want `spec hole: no disposition declared for \(stWait, msgPut\) in the dir table` `message type msgNew is declared in no transition table` `state stWait has live rows in the dir table but dispatch Dir.Deliver never distinguishes it`
+	{stIdle, msgGet, dispOK},
+	{stBusy, msgGet, dispQueue},
+	{stWait, msgGet, dispOK},
+	{stIdle, msgGet, dispOK}, // want `dead spec row: duplicate disposition for \(stIdle, msgGet\)`
+	{stIdle, msg(9), dispOK}, // want `dead spec row: message value 9 matches no declared msg constant`
+	{stIdle, msgPut, dispOK}, // want `unhandled live pair \(stIdle, msgPut\): dir dispatch Dir.Deliver has no case for msgPut`
+	//cosmosvet:allow transition queued msgPut row kept unhandled to prove the escape hatch works
+	{stBusy, msgPut, dispQueue},
+	{stIdle, msgAck, dispReject},
+	{stBusy, msgAck, dispReject},
+	{stWait, msgAck, dispReject},
+}
+
+// Cache distinguishes stIdle but only *assigns* stBusy — writing a
+// state is not handling it, so stBusy trips the mention rule.
+type Cache struct{ st state }
+
+func (c *Cache) Deliver(m msg) {
+	switch m {
+	case msgPut:
+		if c.st == stIdle {
+			c.st = stBusy
+		}
+	default:
+		panic("unhandled")
+	}
+}
+
+//cosmosvet:transitions cache dispatch=Cache.Deliver reject=dispReject exclude=msgNone
+var cacheTable = []row{ // want `message type msgPut is declared in both the dir and cache tables` `state stBusy has live rows in the cache table but dispatch Cache.Deliver never distinguishes it`
+	{stIdle, msgPut, dispOK},
+	{stBusy, msgPut, dispOK},
+	{stWait, msgPut, dispReject},
+}

@@ -1,0 +1,59 @@
+// Package transclean is a fully-consistent mini protocol: its spec
+// table and dispatch switch agree exactly, so the transition analyzer
+// must report nothing.
+package transclean
+
+type state uint8
+
+const (
+	stA state = iota
+	stB
+)
+
+type msg uint8
+
+const (
+	mGo msg = iota
+	mStop
+)
+
+type disp uint8
+
+const (
+	dOK disp = iota
+	dNo
+)
+
+type row struct {
+	s state
+	m msg
+	d disp
+}
+
+type Ctl struct {
+	st state
+	n  int
+}
+
+func (c *Ctl) Deliver(m msg) {
+	switch m {
+	case mGo:
+		if c.st == stA {
+			c.n++
+		}
+	case mStop:
+		if c.st == stB {
+			c.n--
+		}
+	default:
+		panic("unhandled")
+	}
+}
+
+//cosmosvet:transitions ctl dispatch=Ctl.Deliver reject=dNo
+var table = []row{
+	{stA, mGo, dOK},
+	{stB, mGo, dNo},
+	{stA, mStop, dNo},
+	{stB, mStop, dOK},
+}

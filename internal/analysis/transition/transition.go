@@ -1,0 +1,630 @@
+// Package transition implements the cosmosvet analyzer that keeps a
+// protocol's dispatch switches and its declared transition spec table
+// in lockstep.
+//
+// A package opts in by declaring one spec table per dispatch side and
+// annotating it:
+//
+//	//cosmosvet:transitions directory dispatch=Directory.Deliver states=dirState reject=DispRejected exclude=MsgInvalid
+//	var DirectoryTransitions = []DirTransition{
+//		{EntryIdle, coherence.GetROReq, DispHandled},
+//		...
+//	}
+//
+// The table's element type must be a struct whose first three fields
+// are (state enum, message enum, disposition enum), all module-declared
+// uint8 enums; rows may be positional or keyed. The directive names:
+//
+//   - the side label used in diagnostics ("directory", "cache"),
+//   - dispatch=Func or dispatch=Recv.Method, the function whose
+//     outermost switch over the message enum is the dispatch matrix,
+//   - reject=Const, the disposition marking a (state, message) pair the
+//     dispatch is *supposed* to reject (its assertion/panic path),
+//   - states=Type (optional), the enum the dispatch code actually
+//     switches and compares on when it differs from the row field's
+//     exported mirror type (value-compatible, e.g. dirState for
+//     EntryState),
+//   - exclude=A,B (optional), message constants that are not real
+//     protocol messages (e.g. the MsgInvalid zero value).
+//
+// With the tables in hand the analyzer enforces, statically:
+//
+//   - every message with a live (non-rejected) row has a dispatch case:
+//     deleting a `case` from Deliver names each orphaned
+//     (state, message) pair — "unhandled live pair";
+//   - every dispatch case has declared rows, at least one of them live
+//     — "handled but undeclared" and dead-dispatch findings;
+//   - the table is total: every (state, message) combination of a
+//     declared message has a row, every message type belongs to exactly
+//     one side's table, and rows that duplicate a pair or use values
+//     matching no declared constant are dead;
+//   - every state with a live row is actually distinguished (a case
+//     label or ==/!= comparison) somewhere in the dispatch call
+//     closure, so a state the spec calls live cannot be one the code
+//     never looks at.
+//
+// The state axis of each individual handler is deliberately left to the
+// runtime spec pin test (internal/stache's spec_test.go): handlers
+// express per-state behavior through assignments and assertion
+// predicates that static case extraction cannot classify without
+// guessing. Count sentinels (Num*/num* prefixes) are exempt
+// everywhere. Suppress individual findings with
+// //cosmosvet:allow transition <reason>.
+package transition
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis"
+)
+
+// Analyzer is the transition-coverage check.
+var Analyzer = &analysis.Analyzer{
+	Name: "transition",
+	Doc: "cross-check protocol dispatch switches against declared " +
+		"(state, message) transition spec tables",
+	Run: run,
+}
+
+// directive is one parsed //cosmosvet:transitions comment.
+type directive struct {
+	side     string
+	dispatch string
+	states   string
+	reject   string
+	exclude  []string
+	pos      token.Pos
+}
+
+// enum is the declared constant universe of one named uint8 type.
+type enum struct {
+	typ    *types.Named
+	names  map[int64]string
+	values []int64 // ascending, deterministic iteration order
+}
+
+// row is one parsed spec-table row.
+type row struct {
+	pos   token.Pos
+	state int64
+	msg   int64
+	disp  int64
+}
+
+// table is one fully-resolved spec table.
+type table struct {
+	dir       directive
+	pos       token.Pos // the table var, for table-level findings
+	rows      []row
+	stateEnum enum
+	msgEnum   enum
+	rejectVal int64
+	mention   *types.Named // enum the dispatch code is expected to use
+	dispFn    *types.Func
+	dispDecl  *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	var tables []*table
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				d, ok := parseDirective(pass, doc)
+				if !ok {
+					continue
+				}
+				if t := resolveTable(pass, d, vs); t != nil {
+					tables = append(tables, t)
+				}
+			}
+		}
+	}
+	if len(tables) == 0 {
+		return nil
+	}
+	for _, t := range tables {
+		checkTable(pass, t)
+	}
+	checkCrossTables(pass, tables)
+	return nil
+}
+
+// parseDirective extracts a //cosmosvet:transitions directive from a
+// doc comment, reporting malformed ones.
+func parseDirective(pass *analysis.Pass, doc *ast.CommentGroup) (directive, bool) {
+	if doc == nil {
+		return directive{}, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//cosmosvet:transitions")
+		if !ok {
+			continue
+		}
+		d := directive{pos: c.Pos()}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			pass.Reportf(c.Pos(), "cosmosvet:transitions needs a side label and dispatch=/reject= options")
+			return directive{}, false
+		}
+		d.side = fields[0]
+		for _, f := range fields[1:] {
+			key, val, found := strings.Cut(f, "=")
+			if !found || val == "" {
+				pass.Reportf(c.Pos(), "cosmosvet:transitions: malformed option %q, want key=value", f)
+				return directive{}, false
+			}
+			switch key {
+			case "dispatch":
+				d.dispatch = val
+			case "states":
+				d.states = val
+			case "reject":
+				d.reject = val
+			case "exclude":
+				d.exclude = strings.Split(val, ",")
+			default:
+				pass.Reportf(c.Pos(), "cosmosvet:transitions: unknown option %q", key)
+				return directive{}, false
+			}
+		}
+		if d.dispatch == "" || d.reject == "" {
+			pass.Reportf(c.Pos(), "cosmosvet:transitions %s: dispatch= and reject= are required", d.side)
+			return directive{}, false
+		}
+		return d, true
+	}
+	return directive{}, false
+}
+
+// resolveTable turns an annotated var declaration into a table, or
+// reports why it cannot and returns nil.
+func resolveTable(pass *analysis.Pass, d directive, vs *ast.ValueSpec) *table {
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s must annotate a single var with a literal table", d.side)
+		return nil
+	}
+	lit, ok := vs.Values[0].(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: table value must be a composite literal", d.side)
+		return nil
+	}
+	slice, ok := pass.TypesInfo.TypeOf(lit).Underlying().(*types.Slice)
+	if !ok {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: table must be a slice of row structs", d.side)
+		return nil
+	}
+	strct, ok := slice.Elem().Underlying().(*types.Struct)
+	if !ok || strct.NumFields() < 3 {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: row type must be a struct with (state, message, disposition) as its first three fields", d.side)
+		return nil
+	}
+	t := &table{dir: d, pos: vs.Pos()}
+
+	var ok1, ok2 bool
+	t.stateEnum, ok1 = enumOf(strct.Field(0).Type())
+	t.msgEnum, ok2 = enumOf(strct.Field(1).Type())
+	if !ok1 || !ok2 {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: state and message fields must be named uint8 enum types", d.side)
+		return nil
+	}
+	for _, name := range d.exclude {
+		c, ok := t.msgEnum.typ.Obj().Pkg().Scope().Lookup(name).(*types.Const)
+		if !ok {
+			pass.Reportf(d.pos, "cosmosvet:transitions %s: exclude names unknown constant %q", d.side, name)
+			return nil
+		}
+		v, _ := constant.Int64Val(c.Val())
+		t.msgEnum.drop(v)
+	}
+
+	rc, ok := pass.Pkg.Scope().Lookup(d.reject).(*types.Const)
+	if !ok {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: reject names unknown constant %q", d.side, d.reject)
+		return nil
+	}
+	t.rejectVal, _ = constant.Int64Val(rc.Val())
+
+	t.mention = t.stateEnum.typ
+	if d.states != "" {
+		tn, ok := pass.Pkg.Scope().Lookup(d.states).(*types.TypeName)
+		if !ok {
+			pass.Reportf(d.pos, "cosmosvet:transitions %s: states names unknown type %q", d.side, d.states)
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			pass.Reportf(d.pos, "cosmosvet:transitions %s: states type %q is not a named enum", d.side, d.states)
+			return nil
+		}
+		t.mention = named
+	}
+
+	t.dispDecl, t.dispFn = findDispatch(pass, d.dispatch)
+	if t.dispDecl == nil {
+		pass.Reportf(d.pos, "cosmosvet:transitions %s: dispatch %s not found in this package", d.side, d.dispatch)
+		return nil
+	}
+
+	fieldNames := []string{strct.Field(0).Name(), strct.Field(1).Name(), strct.Field(2).Name()}
+	for _, elt := range lit.Elts {
+		rl, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			pass.Reportf(elt.Pos(), "transition table %s: row must be a struct literal", d.side)
+			continue
+		}
+		if r, ok := parseRow(pass, d.side, rl, fieldNames); ok {
+			t.rows = append(t.rows, r)
+		}
+	}
+	return t
+}
+
+// parseRow extracts the three constant values of one row literal.
+func parseRow(pass *analysis.Pass, side string, rl *ast.CompositeLit, fieldNames []string) (row, bool) {
+	exprs := make([]ast.Expr, 3)
+	for i, elt := range rl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, _ := kv.Key.(*ast.Ident)
+			for fi, fn := range fieldNames {
+				if key != nil && key.Name == fn {
+					exprs[fi] = kv.Value
+				}
+			}
+			continue
+		}
+		if i < 3 {
+			exprs[i] = elt
+		}
+	}
+	r := row{pos: rl.Pos()}
+	vals := make([]int64, 3)
+	for i, e := range exprs {
+		if e == nil {
+			pass.Reportf(rl.Pos(), "transition table %s: row is missing its %s field", side, fieldNames[i])
+			return row{}, false
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil {
+			pass.Reportf(e.Pos(), "transition table %s: row field %s must be a declared constant", side, fieldNames[i])
+			return row{}, false
+		}
+		v, ok := constant.Int64Val(tv.Value)
+		if !ok {
+			pass.Reportf(e.Pos(), "transition table %s: row field %s must be an integer constant", side, fieldNames[i])
+			return row{}, false
+		}
+		vals[i] = v
+	}
+	r.state, r.msg, r.disp = vals[0], vals[1], vals[2]
+	return r, true
+}
+
+// checkTable runs every per-table check.
+func checkTable(pass *analysis.Pass, t *table) {
+	caseOf := dispatchCases(pass, t)
+	if caseOf == nil {
+		return // no dispatch switch; already reported
+	}
+
+	type pair struct{ state, msg int64 }
+	seen := map[pair]token.Pos{}
+	rowsByMsg := map[int64][]row{}
+	liveByMsg := map[int64]int{}
+	liveByState := map[int64]bool{}
+	for _, r := range t.rows {
+		if _, ok := t.stateEnum.names[r.state]; !ok {
+			pass.Reportf(r.pos, "dead spec row: state value %d matches no declared %s constant", r.state, t.stateEnum.typ.Obj().Name())
+			continue
+		}
+		if _, ok := t.msgEnum.names[r.msg]; !ok {
+			pass.Reportf(r.pos, "dead spec row: message value %d matches no declared %s constant (or it is excluded)", r.msg, t.msgEnum.typ.Obj().Name())
+			continue
+		}
+		p := pair{r.state, r.msg}
+		if _, dup := seen[p]; dup {
+			pass.Reportf(r.pos, "dead spec row: duplicate disposition for (%s, %s)", t.stateEnum.names[r.state], t.msgEnum.names[r.msg])
+			continue
+		}
+		seen[p] = r.pos
+		rowsByMsg[r.msg] = append(rowsByMsg[r.msg], r)
+		if r.disp != t.rejectVal {
+			liveByMsg[r.msg]++
+			liveByState[r.state] = true
+		}
+	}
+
+	// Message axis: declared rows vs dispatch cases, both directions,
+	// and per-message state totality.
+	for _, m := range t.msgEnum.values {
+		rows := rowsByMsg[m]
+		_, hasCase := caseOf[m]
+		switch {
+		case len(rows) == 0:
+			if hasCase {
+				pass.Reportf(caseOf[m], "%s dispatch %s handles %s but the spec table declares no transitions for it",
+					t.dir.side, t.dir.dispatch, t.msgEnum.names[m])
+			}
+			// A message in no table at all is reported by the
+			// cross-table totality check, once, not per table.
+			continue
+		case !hasCase && liveByMsg[m] > 0:
+			for _, r := range rows {
+				if r.disp != t.rejectVal {
+					pass.Reportf(r.pos, "unhandled live pair (%s, %s): %s dispatch %s has no case for %s",
+						t.stateEnum.names[r.state], t.msgEnum.names[m], t.dir.side, t.dir.dispatch, t.msgEnum.names[m])
+				}
+			}
+		case hasCase && liveByMsg[m] == 0:
+			pass.Reportf(caseOf[m], "%s dispatch %s handles %s but every declared row rejects it",
+				t.dir.side, t.dir.dispatch, t.msgEnum.names[m])
+		}
+		for _, s := range t.stateEnum.values {
+			if _, ok := seen[pair{s, m}]; !ok {
+				pass.Reportf(t.pos, "spec hole: no disposition declared for (%s, %s) in the %s table",
+					t.stateEnum.names[s], t.msgEnum.names[m], t.dir.side)
+			}
+		}
+	}
+
+	// State axis, side level: a state the spec declares live must be
+	// distinguishable somewhere in the dispatch closure.
+	mentions := mentionValues(pass, t.dispFn, t.mention)
+	for _, s := range t.stateEnum.values {
+		if liveByState[s] && !mentions[s] {
+			pass.Reportf(t.pos, "state %s has live rows in the %s table but dispatch %s never distinguishes it (no case label or comparison in its call closure)",
+				t.stateEnum.names[s], t.dir.side, t.dir.dispatch)
+		}
+	}
+}
+
+// dispatchCases returns the constant case values of the dispatch
+// function's outermost switch over the table's message enum.
+func dispatchCases(pass *analysis.Pass, t *table) map[int64]token.Pos {
+	var sw *ast.SwitchStmt
+	ast.Inspect(t.dispDecl.Body, func(n ast.Node) bool {
+		if sw != nil {
+			return false
+		}
+		s, ok := n.(*ast.SwitchStmt)
+		if !ok || s.Tag == nil {
+			return true
+		}
+		if tt, ok := pass.TypesInfo.TypeOf(s.Tag).(*types.Named); ok && types.Identical(tt, t.msgEnum.typ) {
+			sw = s
+			return false
+		}
+		return true
+	})
+	if sw == nil {
+		pass.Reportf(t.dir.pos, "cosmosvet:transitions %s: dispatch %s has no switch over %s",
+			t.dir.side, t.dir.dispatch, t.msgEnum.typ.Obj().Name())
+		return nil
+	}
+	cases := map[int64]token.Pos{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					if _, dup := cases[v]; !dup {
+						cases[v] = e.Pos()
+					}
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// checkCrossTables enforces that every message type belongs to exactly
+// one side's table.
+func checkCrossTables(pass *analysis.Pass, tables []*table) {
+	type group struct {
+		universe enum
+		tables   []*table
+	}
+	var groups []*group
+	for _, t := range tables {
+		var g *group
+		for _, existing := range groups {
+			if types.Identical(existing.universe.typ, t.msgEnum.typ) {
+				g = existing
+				break
+			}
+		}
+		if g == nil {
+			g = &group{universe: t.msgEnum}
+			groups = append(groups, g)
+		}
+		g.tables = append(g.tables, t)
+	}
+	for _, g := range groups {
+		for _, m := range g.universe.values {
+			var holders []*table
+			for _, t := range g.tables {
+				for _, r := range t.rows {
+					if r.msg == m {
+						holders = append(holders, t)
+						break
+					}
+				}
+			}
+			switch {
+			case len(holders) == 0:
+				pass.Reportf(g.tables[0].pos, "message type %s is declared in no transition table", g.universe.names[m])
+			case len(holders) > 1:
+				pass.Reportf(holders[1].pos, "message type %s is declared in both the %s and %s tables",
+					g.universe.names[m], holders[0].dir.side, holders[1].dir.side)
+			}
+		}
+	}
+}
+
+// mentionValues collects every constant of enum type mt that the
+// dispatch function's same-package call closure distinguishes: case
+// labels of switches over mt and ==/!= comparisons against mt
+// constants. Assignments are deliberately not mentions — writing a
+// state proves nothing about handling it.
+func mentionValues(pass *analysis.Pass, root *types.Func, mt *types.Named) map[int64]bool {
+	out := map[int64]bool{}
+	cg := pass.CallGraph()
+	fns := []*types.Func{root}
+	for fn := range cg.Reachable(root, 0, nil) {
+		fns = append(fns, fn)
+	}
+	addConst := func(e ast.Expr) {
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(tv.Value); ok {
+				out[v] = true
+			}
+		}
+	}
+	for _, fn := range fns {
+		decl := cg.DeclOf(fn)
+		if decl == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !identicalNamed(pass.TypesInfo.TypeOf(n.Tag), mt) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					if cc, ok := stmt.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							addConst(e)
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if identicalNamed(pass.TypesInfo.TypeOf(n.X), mt) || identicalNamed(pass.TypesInfo.TypeOf(n.Y), mt) {
+					addConst(n.X)
+					addConst(n.Y)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func identicalNamed(t types.Type, mt *types.Named) bool {
+	named, ok := t.(*types.Named)
+	return ok && types.Identical(named, mt)
+}
+
+// findDispatch resolves "Func" or "Recv.Method" to a declaration in
+// this package.
+func findDispatch(pass *analysis.Pass, name string) (*ast.FuncDecl, *types.Func) {
+	recv, method, isMethod := strings.Cut(name, ".")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isMethod {
+				if fd.Recv == nil || fd.Name.Name != method || receiverTypeName(fd) != recv {
+					continue
+				}
+			} else if fd.Recv != nil || fd.Name.Name != name {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				return fd, fn
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receiverTypeName returns the base type name of a method receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// enumOf builds the declared-constant universe of a named uint8 enum,
+// excluding Num*/num* count sentinels.
+func enumOf(t types.Type) (enum, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return enum{}, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Uint8 {
+		return enum{}, false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return enum{}, false
+	}
+	e := enum{typ: named, names: map[int64]string{}}
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		if _, exists := e.names[v]; !exists {
+			e.names[v] = name
+			e.values = append(e.values, v)
+		}
+	}
+	if len(e.values) < 2 {
+		return enum{}, false
+	}
+	sort.Slice(e.values, func(i, j int) bool { return e.values[i] < e.values[j] })
+	return e, true
+}
+
+// drop removes a value from the enum universe (directive excludes).
+func (e *enum) drop(v int64) {
+	delete(e.names, v)
+	for i, ev := range e.values {
+		if ev == v {
+			e.values = append(e.values[:i], e.values[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package transition_test
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/analysis/analysistest"
+	"github.com/cosmos-coherence/cosmos/internal/analysis/transition"
+)
+
+// TestTransition pins every finding class against the trans fixture:
+// deleting a dispatch case, declaring a pair the code cannot reach,
+// duplicating or orphaning rows, and states the code never looks at.
+func TestTransition(t *testing.T) {
+	analysistest.Run(t, transition.Analyzer, "testdata/src/trans")
+}
+
+// TestTransitionClean requires silence on a consistent protocol.
+func TestTransitionClean(t *testing.T) {
+	analysistest.Run(t, transition.Analyzer, "testdata/src/transclean")
+}

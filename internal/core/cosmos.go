@@ -71,9 +71,11 @@ func (c Config) Validate() error {
 // coherence message types)").
 func tupleBits(t coherence.Tuple) (uint16, error) {
 	if t.Sender < 0 || t.Sender >= 1<<12 {
+		//cosmosvet:allow hotpath error construction on the reject path; callers panic on it
 		return 0, fmt.Errorf("core: sender %d does not fit in 12 bits", t.Sender)
 	}
 	if t.Type >= 1<<4 {
+		//cosmosvet:allow hotpath error construction on the reject path; callers panic on it
 		return 0, fmt.Errorf("core: message type %d does not fit in 4 bits", t.Type)
 	}
 	return uint16(t.Sender)<<4 | uint16(t.Type), nil
@@ -187,7 +189,9 @@ func (t *phtTable) grow() {
 		newCap = 2 * len(t.keys)
 	}
 	oldKeys, oldEntries := t.keys, t.entries
+	//cosmosvet:allow hotpath doubling rehash; growth cost is amortized across inserts
 	t.keys = make([]uint64, newCap)
+	//cosmosvet:allow hotpath doubling rehash; growth cost is amortized across inserts
 	t.entries = make([]phtEntry, newCap)
 	mask := uint64(newCap - 1)
 	for j, k := range oldKeys {
@@ -304,6 +308,7 @@ func (p *Predictor) Config() Config { return p.cfg }
 // when Cosmos has no prediction: the block is unknown, fewer than
 // depth messages have been seen, or the current history pattern has no
 // PHT entry yet.
+//cosmosvet:hotpath
 func (p *Predictor) Predict(addr coherence.Addr) (pred coherence.Tuple, ok bool) {
 	bs := p.block(addr)
 	if bs == nil || bs.seen < uint64(p.cfg.Depth) {
@@ -321,6 +326,7 @@ func (p *Predictor) Predict(addr coherence.Addr) (pred coherence.Tuple, ok bool)
 // history and shifts the tuple into the MHR (Section 3.4). PHTs are
 // allocated lazily, so blocks with fewer protocol references than the
 // MHR depth never own one (the Table 7 accounting convention).
+//cosmosvet:hotpath
 func (p *Predictor) Update(addr coherence.Addr, actual coherence.Tuple) {
 	p.updateIndexed(addr, actual, actual)
 }
@@ -332,6 +338,7 @@ func (p *Predictor) Update(addr coherence.Addr, actual coherence.Tuple) {
 // tuple. It is equivalent to Predict followed by Update but probes the
 // address index and the PHT once instead of twice — the trace
 // evaluators spend most of their time here.
+//cosmosvet:hotpath
 func (p *Predictor) Observe(addr coherence.Addr, actual coherence.Tuple) (pred coherence.Tuple, predicted, correct bool) {
 	return p.observeIndexed(addr, actual, actual)
 }

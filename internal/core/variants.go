@@ -148,6 +148,7 @@ func (p *Predictor) ensureBlock(addr coherence.Addr) *blockState {
 		p.slab = p.slab[:slot+1]
 	default:
 		slot = int32(len(p.slab))
+		//cosmosvet:allow hotpath slab growth is amortized; reset pools retain the capacity
 		p.slab = append(p.slab, blockState{})
 	}
 	p.index[addr] = slot

@@ -156,6 +156,7 @@ func (t *Transport) linkFor(src, dst coherence.NodeID) *link {
 	i := int(src)*t.nodes + int(dst)
 	l := t.links[i]
 	if l == nil {
+		//cosmosvet:allow hotpath one-time link state creation on first use of a (src, dst) pair
 		l = &link{
 			src:     src,
 			dst:     dst,
@@ -220,6 +221,8 @@ func (t *Transport) Inflight() []Inflight {
 // Send implements stache.Sender: the message is sequenced on its link,
 // buffered for retransmission, and injected. Node-local messages never
 // touch the wire and bypass sequencing entirely.
+//
+//cosmosvet:hotpath
 func (t *Transport) Send(msg coherence.Msg) {
 	if msg.Src == msg.Dst {
 		t.net.Send(msg)
@@ -228,6 +231,7 @@ func (t *Transport) Send(msg coherence.Msg) {
 	l := t.linkFor(msg.Src, msg.Dst)
 	l.nextSend++
 	ts := l.nextSend
+	//cosmosvet:allow hotpath per-frame retransmit record, reclaimed when the ack arrives
 	l.unacked[ts] = &outstanding{msg: msg, backoff: t.timeout, sentAt: t.engine.Now()}
 	t.stats.DataSent++
 	t.net.SendPacket(network.Packet{Src: msg.Src, Dst: msg.Dst, Msg: msg, TSeq: ts})
@@ -237,6 +241,7 @@ func (t *Transport) Send(msg coherence.Msg) {
 // armTimer schedules the retransmit check for frame ts on l, using the
 // frame's current backoff.
 func (t *Transport) armTimer(l *link, ts uint64) {
+	//cosmosvet:allow hotpath retransmit-timer closure, one per frame send by design
 	t.engine.After(l.unacked[ts].backoff, func() { t.timerFired(l, ts) })
 }
 
@@ -248,6 +253,7 @@ func (t *Transport) timerFired(l *link, ts uint64) {
 		return // acked meanwhile, or the run is already failing
 	}
 	if o.retries >= t.maxRetries {
+		//cosmosvet:allow hotpath link-death diagnostic; the run is already failing
 		t.fail(fmt.Errorf("reliable: link %v->%v dead: frame %d (%v, first sent at %v) unacknowledged after %d retransmits",
 			l.src, l.dst, ts, o.msg, o.sentAt, o.retries))
 		return

@@ -47,7 +47,10 @@ func (h eventHeap) less(i, j int) bool {
 }
 
 // push appends it and restores the heap property by sifting up.
+//
+//cosmosvet:hotpath
 func (h *eventHeap) push(it item) {
+	//cosmosvet:allow hotpath amortized heap growth; steady state reuses the backing array
 	q := append(*h, it)
 	i := len(q) - 1
 	for i > 0 {
@@ -63,6 +66,8 @@ func (h *eventHeap) push(it item) {
 
 // pop removes and returns the minimum element, sifting the displaced
 // tail element down.
+//
+//cosmosvet:hotpath
 func (h *eventHeap) pop() item {
 	q := *h
 	top := q[0]
@@ -141,6 +146,8 @@ func (e *Engine) NextAt() (at Time, ok bool) {
 // At schedules fn to run at absolute time at. Scheduling in the past is
 // a programming error and panics, because it would silently reorder
 // causality.
+//
+//cosmosvet:hotpath
 func (e *Engine) At(at Time, fn Event) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
@@ -153,6 +160,8 @@ func (e *Engine) At(at Time, fn Event) {
 }
 
 // After schedules fn to run delay nanoseconds from now.
+//
+//cosmosvet:hotpath
 func (e *Engine) After(delay Time, fn Event) { e.At(e.now+delay, fn) }
 
 // Halt stops Run before the next event fires. Events already scheduled
@@ -161,6 +170,8 @@ func (e *Engine) Halt() { e.halted = true }
 
 // Step fires the single earliest event. It reports whether an event
 // fired (false means the queue was empty).
+//
+//cosmosvet:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

@@ -1,0 +1,154 @@
+package stache
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// This file is the machine-readable protocol transition spec: for
+// every (stable state, message type) pair at each controller, what the
+// dispatch code is supposed to do with the message. The cosmosvet
+// `transition` analyzer cross-checks these tables against the actual
+// switch statements in Directory.Deliver and Cache.Deliver (so a
+// message type added after SpecPush cannot ship with a handler hole),
+// and spec_test.go drives every declared pair through the live
+// handlers (so the table cannot drift from the runtime). Change the
+// protocol and the table together, or the build fails loudly.
+
+// Disposition says what a controller does with a message arriving
+// while a block is in a given stable state.
+type Disposition uint8
+
+const (
+	// DispHandled: some legal execution delivers this pair and the
+	// handler processes it (possibly as a no-op acknowledgment).
+	DispHandled Disposition = iota
+	// DispQueued: a busy directory entry FIFO-queues the request for
+	// replay when the in-flight transaction finishes.
+	DispQueued
+	// DispDropped: the handler accepts the message and deliberately
+	// discards it (an unclaimable speculative push).
+	DispDropped
+	// DispRejected: no legal execution delivers this pair; the
+	// handler's assertions panic on it, because its arrival means the
+	// simulator itself is broken.
+	DispRejected
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case DispHandled:
+		return "handled"
+	case DispQueued:
+		return "queued"
+	case DispDropped:
+		return "dropped"
+	case DispRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("Disposition(%d)", uint8(d))
+}
+
+// DirTransition is one row of the directory-side spec: a message type
+// arriving while the entry is in a stable state. State uses the
+// exported EntryState mirror of the internal dirState (the values
+// coincide; the analyzer checks mentions against dirState).
+type DirTransition struct {
+	State EntryState
+	Msg   coherence.MsgType
+	On    Disposition
+}
+
+// CacheTransition is one row of the cache-side spec.
+type CacheTransition struct {
+	State CacheState
+	Msg   coherence.MsgType
+	On    Disposition
+}
+
+// DirectoryTransitions declares the full directory dispatch matrix:
+// the four request types start or queue a transaction; the three
+// acknowledgment types are only ever legal on a busy entry that is
+// collecting them.
+//
+//cosmosvet:transitions directory dispatch=Directory.Deliver states=dirState reject=DispRejected exclude=MsgInvalid
+var DirectoryTransitions = []DirTransition{
+	{EntryIdle, coherence.GetROReq, DispHandled},
+	{EntryShared, coherence.GetROReq, DispHandled},
+	{EntryExclusive, coherence.GetROReq, DispHandled},
+	{EntryBusy, coherence.GetROReq, DispQueued},
+
+	{EntryIdle, coherence.GetRWReq, DispHandled},
+	{EntryShared, coherence.GetRWReq, DispHandled},
+	{EntryExclusive, coherence.GetRWReq, DispHandled},
+	{EntryBusy, coherence.GetRWReq, DispQueued},
+
+	{EntryIdle, coherence.UpgradeReq, DispHandled},
+	{EntryShared, coherence.UpgradeReq, DispHandled},
+	{EntryExclusive, coherence.UpgradeReq, DispHandled},
+	{EntryBusy, coherence.UpgradeReq, DispQueued},
+
+	{EntryIdle, coherence.WritebackReq, DispHandled},
+	{EntryShared, coherence.WritebackReq, DispHandled},
+	{EntryExclusive, coherence.WritebackReq, DispHandled},
+	{EntryBusy, coherence.WritebackReq, DispQueued},
+
+	{EntryIdle, coherence.InvalROResp, DispRejected},
+	{EntryShared, coherence.InvalROResp, DispRejected},
+	{EntryExclusive, coherence.InvalROResp, DispRejected},
+	{EntryBusy, coherence.InvalROResp, DispHandled},
+
+	{EntryIdle, coherence.InvalRWResp, DispRejected},
+	{EntryShared, coherence.InvalRWResp, DispRejected},
+	{EntryExclusive, coherence.InvalRWResp, DispRejected},
+	{EntryBusy, coherence.InvalRWResp, DispHandled},
+
+	{EntryIdle, coherence.DowngradeResp, DispRejected},
+	{EntryShared, coherence.DowngradeResp, DispRejected},
+	{EntryExclusive, coherence.DowngradeResp, DispRejected},
+	{EntryBusy, coherence.DowngradeResp, DispHandled},
+}
+
+// CacheTransitions declares the full cache dispatch matrix. The
+// handled-from-surprising-states rows encode the protocol's races:
+// a response landing on an invalid line is the upgrade/writeback race
+// (the copy was invalidated or written back while the request was in
+// flight), a get_rw_response on a read-only line is the
+// directory-converted upgrade, and a stale invalidation of a line the
+// cache no longer holds is acknowledged anyway.
+//
+//cosmosvet:transitions cache dispatch=Cache.Deliver reject=DispRejected exclude=MsgInvalid
+var CacheTransitions = []CacheTransition{
+	{CacheInvalid, coherence.GetROResp, DispHandled},
+	{CacheReadOnly, coherence.GetROResp, DispRejected},
+	{CacheReadWrite, coherence.GetROResp, DispRejected},
+
+	{CacheInvalid, coherence.GetRWResp, DispHandled},
+	{CacheReadOnly, coherence.GetRWResp, DispHandled},
+	{CacheReadWrite, coherence.GetRWResp, DispRejected},
+
+	{CacheInvalid, coherence.UpgradeResp, DispHandled},
+	{CacheReadOnly, coherence.UpgradeResp, DispHandled},
+	{CacheReadWrite, coherence.UpgradeResp, DispRejected},
+
+	{CacheInvalid, coherence.InvalROReq, DispHandled},
+	{CacheReadOnly, coherence.InvalROReq, DispHandled},
+	{CacheReadWrite, coherence.InvalROReq, DispRejected},
+
+	{CacheInvalid, coherence.InvalRWReq, DispHandled},
+	{CacheReadOnly, coherence.InvalRWReq, DispRejected},
+	{CacheReadWrite, coherence.InvalRWReq, DispHandled},
+
+	{CacheInvalid, coherence.DowngradeReq, DispHandled},
+	{CacheReadOnly, coherence.DowngradeReq, DispRejected},
+	{CacheReadWrite, coherence.DowngradeReq, DispHandled},
+
+	{CacheInvalid, coherence.WritebackAck, DispHandled},
+	{CacheReadOnly, coherence.WritebackAck, DispRejected},
+	{CacheReadWrite, coherence.WritebackAck, DispRejected},
+
+	{CacheInvalid, coherence.SpecPush, DispHandled},
+	{CacheReadOnly, coherence.SpecPush, DispDropped},
+	{CacheReadWrite, coherence.SpecPush, DispDropped},
+}

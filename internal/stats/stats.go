@@ -132,7 +132,10 @@ type slotAddr struct {
 }
 
 // evaluateSerial is the reference implementation: one pass over the
-// records in arrival order.
+// records in arrival order. The loops are the per-record hot path;
+// setup allocations before them are once-per-evaluation.
+//
+//cosmosvet:hotpath loops
 func evaluateSerial(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
 	res := &Result{App: tr.App, Config: cfg}
 	if opts.TrackArcs {
@@ -173,6 +176,7 @@ func evaluateSerial(tr *trace.Trace, cfg core.Config, opts Options) (*Result, er
 		}
 		res.Types[rec.Type].add(correct)
 		for int(rec.Iter) >= len(res.PerIter) {
+			//cosmosvet:allow hotpath grows once to the trace's iteration count, then never again
 			res.PerIter = append(res.PerIter, Counter{})
 		}
 		res.PerIter[rec.Iter].add(correct)
@@ -183,6 +187,7 @@ func evaluateSerial(tr *trace.Trace, cfg core.Config, opts Options) (*Result, er
 				arc := Arc{Side: rec.Side, From: from, To: rec.Type}
 				c := res.Arcs[arc]
 				if c == nil {
+					//cosmosvet:allow hotpath one counter per distinct arc, first sighting only
 					c = &Counter{}
 					res.Arcs[arc] = c
 				}
