@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos chaos-spec examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos chaos-spec serve-chaos examples clean
 
 check: lint build race
 
-ci: lint build test race chaos chaos-spec
+ci: lint build test race chaos chaos-spec serve-chaos
 
 lint: vet cosmosvet
 
@@ -61,7 +61,7 @@ BENCH_GATE_THRESHOLD ?= 300
 bench-gate:
 	rm -f /tmp/bench-gate.json
 	COSMOS_BENCH_SCALE=small $(GO) run ./cmd/cosmos-bench -label gate -trace-cache $(TRACE_CACHE) \
-		-bench 'Table5|Table6|EvaluateThroughput' -o /tmp/bench-gate.json
+		-bench 'Table5|Table6|EvaluateThroughput|ServeSLO' -o /tmp/bench-gate.json
 	$(GO) run ./cmd/cosmos-bench -compare -threshold $(BENCH_GATE_THRESHOLD) BENCH_SMOKE_BASELINE.json /tmp/bench-gate.json
 
 # A short chaos sweep with the runtime invariant monitor on: 25 seeds
@@ -79,6 +79,19 @@ chaos:
 chaos-spec:
 	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick -spec
 	$(GO) run ./cmd/cosmos-chaos -seeds 4 -quick -corrupt spec-dangling -o /tmp/chaos-spec >/dev/null; test $$? -eq 1
+
+# The serve crash sweep: 100 seeds of kill-and-restore over the online
+# prediction service — every restored server must be byte-identical to
+# one that never died. The remaining legs are self-checks: deliberately
+# corrupted stores (payload damage, mid-WAL damage, a future container
+# version) must each be refused with the matching error class, so the
+# expected exit status is exactly 1; 0 (missed) and 2 (wrong class or
+# usage error) both fail the target.
+serve-chaos:
+	$(GO) run ./cmd/cosmos-serve -seeds 100
+	$(GO) run ./cmd/cosmos-serve -seeds 4 -corrupt snapshot >/dev/null; test $$? -eq 1
+	$(GO) run ./cmd/cosmos-serve -seeds 4 -corrupt wal >/dev/null; test $$? -eq 1
+	$(GO) run ./cmd/cosmos-serve -seeds 4 -corrupt version >/dev/null; test $$? -eq 1
 
 examples:
 	$(GO) run ./examples/quickstart

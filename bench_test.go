@@ -9,14 +9,17 @@ package cosmos_test
 
 import (
 	"os"
+	"sort"
 	"sync"
 	"testing"
 
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/core"
 	"github.com/cosmos-coherence/cosmos/internal/experiments"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/governor"
 	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/serve"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
 	"github.com/cosmos-coherence/cosmos/internal/speculate"
 	"github.com/cosmos-coherence/cosmos/internal/stache"
@@ -395,6 +398,48 @@ func BenchmarkEngine(b *testing.B) {
 		e.At(e.Now()+sim.Time(i%64), nop)
 		e.Step()
 	}
+}
+
+// BenchmarkServeSLO is the online prediction service's SLO benchmark:
+// each iteration deploys a full cosmos-serve cluster — server with a
+// durable store, paced clients, a mildly faulty wire — and runs a
+// fixed workload to completion with periodic checkpointing on. It
+// reports the service-level numbers the SLO gate watches: simulated
+// observation throughput and p99 observation→response latency. The
+// wall-clock time per op is the harness cost (engine + transport +
+// snapshot/WAL I/O), gated by cosmos-bench -compare like the other
+// headline benchmarks.
+func BenchmarkServeSLO(b *testing.B) {
+	const streams, obs = 4, 400
+	workload := serve.GenWorkload(1, streams, obs)
+	var tput float64
+	var p99 uint64
+	for i := 0; i < b.N; i++ {
+		c, err := serve.NewCluster(serve.HarnessConfig{
+			Dir: b.TempDir(),
+			Server: serve.Config{
+				Predictor:     core.Config{Depth: 2, FilterMax: 1},
+				SnapshotEvery: 64,
+			},
+			Plan: faults.Plan{Seed: 2, DropProb: 0.01, JitterNs: 100},
+		}, workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		var lats []uint64
+		for _, cl := range c.Clients {
+			lats = append(lats, cl.LatNs...)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st := c.Srv.Stats()
+		tput = float64(st.Applied) / float64(c.Eng.Now()) * 1e9
+		p99 = lats[int(0.99*float64(len(lats)-1))]
+	}
+	b.ReportMetric(tput, "sim_obs/s")
+	b.ReportMetric(float64(p99), "p99_ns")
 }
 
 // BenchmarkEvaluateThroughput measures trace evaluation speed

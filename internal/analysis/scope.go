@@ -24,6 +24,10 @@ var simCorePackages = []string{
 	// would desynchronize otherwise-identical runs.
 	"internal/governor",
 	"internal/speculate",
+	// The online prediction service runs inside the engine: its queue,
+	// shed, and checkpoint decisions must replay identically from a
+	// seed for the kill-and-restore byte-equivalence guarantee to hold.
+	"internal/serve",
 	// The worker pool reassembles parallel results into deterministic
 	// order; wall-clock or global-rand creep here would let scheduling
 	// leak into every experiment that fans out over it.

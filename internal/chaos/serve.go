@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
+	"github.com/cosmos-coherence/cosmos/internal/parallel"
+	"github.com/cosmos-coherence/cosmos/internal/serve"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+// The serve chaos axis: seeded kill-and-restore sweeps of the online
+// prediction service (internal/serve). Each seed builds a whole
+// deployment — faulty wire, reliable transport, server with a durable
+// store, paced clients — kills it at seed-derived instants with
+// seed-derived WAL tears, restarts it from disk, and runs the workload
+// to completion. The oracle is a transport-free predictor replay, so
+// the acceptance bar is exact: every client's verified response log
+// and every stream's final predictor bytes must match a deployment
+// that never crashed. Corruption modes damage the store between kill
+// and restart to self-check that recovery's integrity errors actually
+// fire — and fire with the right class.
+
+// ServeConfig parameterizes one serve chaos run. All fields marshal to
+// JSON for reporting.
+type ServeConfig struct {
+	// Streams is the client count; Obs the observations per stream.
+	Streams int `json:"streams"`
+	Obs     int `json:"obs"`
+	// Kills is how many kill-and-restore cycles each seed suffers.
+	Kills int `json:"kills"`
+	// SnapshotEvery is the server's checkpoint cadence in observations.
+	SnapshotEvery int `json:"snapshot_every"`
+	// Drop, Dup, and JitterNs feed the wire's fault plan.
+	Drop     float64 `json:"drop"`
+	Dup      float64 `json:"dup"`
+	JitterNs uint64  `json:"jitter_ns"`
+	// Corrupt, when set, injects store damage (serve.Corrupt* constants)
+	// after the first kill; the restart must then fail with the matching
+	// integrity error. Used only in self-check runs.
+	Corrupt string `json:"corrupt,omitempty"`
+}
+
+// DefaultServeConfig returns the standard sweep configuration: a
+// moderately lossy wire, a few kill cycles, and a checkpoint cadence
+// short enough that every run exercises snapshot, WAL replay, and
+// resynchronization together.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Streams:       3,
+		Obs:           200,
+		Kills:         2,
+		SnapshotEvery: 32,
+		Drop:          0.01,
+		Dup:           0.01,
+		JitterNs:      100,
+	}
+}
+
+// Validate rejects configurations the harness cannot run.
+func (c ServeConfig) Validate() error {
+	switch {
+	case c.Streams < 1 || c.Streams > 64:
+		return fmt.Errorf("chaos: serve Streams=%d out of range [1,64]", c.Streams)
+	case c.Obs <= 0:
+		return fmt.Errorf("chaos: serve Obs must be positive")
+	case c.Kills < 0:
+		return fmt.Errorf("chaos: serve Kills must be non-negative")
+	case c.SnapshotEvery <= 0:
+		return fmt.Errorf("chaos: serve SnapshotEvery must be positive")
+	case c.Drop < 0 || c.Drop >= 1 || c.Dup < 0 || c.Dup >= 1:
+		return fmt.Errorf("chaos: serve Drop/Dup must be in [0,1)")
+	}
+	switch c.Corrupt {
+	case "", serve.CorruptSnapshot, serve.CorruptWAL, serve.CorruptVersion:
+	default:
+		return fmt.Errorf("chaos: unknown serve corruption mode %q", c.Corrupt)
+	}
+	return nil
+}
+
+// Serve outcome rule names (Result.Rule) for violations.
+const (
+	// RuleServeDivergence: a completed run's responses or final
+	// predictor bytes differ from the oracle — the crash machinery lost
+	// or invented state.
+	RuleServeDivergence = "serve-divergence"
+	// RuleServeClient: a client's online verification fired (a response
+	// gap, or a regenerated response that differs byte-for-byte).
+	RuleServeClient = "serve-client"
+	// RuleServeCorruptionDetected: an injected-corruption self-check run
+	// in which recovery refused the damaged store with the expected
+	// error class. This is the self-check passing — reported as a
+	// failure outcome so the sweep exits non-zero exactly when damage
+	// is caught, mirroring the protocol corruption modes.
+	RuleServeCorruptionDetected = "serve-corruption-detected"
+)
+
+// RunServeSeed executes one kill-and-restore run. Deterministic in
+// (cfg, seed) up to OS I/O failures: the workload, predictor depth,
+// kill instants, and WAL tear points all derive from the seed.
+func RunServeSeed(cfg ServeConfig, seed int64) Result {
+	res := Result{Seed: seed}
+	dir, err := os.MkdirTemp("", "cosmos-serve-chaos-*")
+	if err != nil {
+		res.Outcome = OutcomeError
+		res.Diagnostic = err.Error()
+		return res
+	}
+	defer os.RemoveAll(dir)
+
+	r := rand.New(rand.NewSource(seed))
+	workload := serve.GenWorkload(seed, cfg.Streams, cfg.Obs)
+	pcfg := core.Config{Depth: 1 + int(mix64(uint64(seed))%2), FilterMax: 1}
+	c, err := serve.NewCluster(serve.HarnessConfig{
+		Dir: dir,
+		Server: serve.Config{
+			Predictor:     pcfg,
+			SnapshotEvery: cfg.SnapshotEvery,
+		},
+		Plan: faults.Plan{
+			Seed:     uint64(seed) + 1, // Plan seed 0 means "unseeded"
+			DropProb: cfg.Drop,
+			DupProb:  cfg.Dup,
+			JitterNs: cfg.JitterNs,
+		},
+	}, workload)
+	if err != nil {
+		res.Outcome = OutcomeError
+		res.Diagnostic = err.Error()
+		return res
+	}
+
+	for k := 0; k < cfg.Kills; k++ {
+		killAt := c.Eng.Now() + sim.Time(2_000+r.Intn(30_000))
+		if err := c.Kill(killAt, r.Float64()); err != nil {
+			return classifyServe(c, res, err)
+		}
+		if k == 0 && cfg.Corrupt != "" {
+			want, cerr := serve.CorruptStore(dir, cfg.Corrupt)
+			if cerr != nil {
+				res.Outcome = OutcomeError
+				res.Diagnostic = cerr.Error()
+				return res
+			}
+			err := c.Restart()
+			switch {
+			case err == nil:
+				res.Outcome = OutcomeOK
+				res.Diagnostic = fmt.Sprintf("injected %q damage went UNDETECTED: recovery succeeded", cfg.Corrupt)
+			case errors.Is(err, want):
+				res.Outcome = OutcomeViolation
+				res.Rule = RuleServeCorruptionDetected
+				res.Diagnostic = err.Error()
+			default:
+				res.Outcome = OutcomeError
+				res.Diagnostic = fmt.Sprintf("injected %q damage detected with the WRONG class: %v", cfg.Corrupt, err)
+			}
+			return res
+		}
+		if err := c.Restart(); err != nil {
+			res.Outcome = OutcomeError
+			res.Diagnostic = fmt.Sprintf("restart %d: %v", k, err)
+			return res
+		}
+	}
+
+	if err := c.Run(); err != nil {
+		return classifyServe(c, res, err)
+	}
+	st := c.Srv.Stats()
+	res.Events = c.Eng.Fired()
+	res.Accesses = st.Applied
+	res.Messages = st.Checkpoints
+
+	for i, obs := range workload {
+		wantResp, wantSnap, err := serve.Oracle(pcfg, obs)
+		if err != nil {
+			res.Outcome = OutcomeError
+			res.Diagnostic = err.Error()
+			return res
+		}
+		if !reflect.DeepEqual(c.Clients[i].Recv, wantResp) {
+			res.Outcome = OutcomeViolation
+			res.Rule = RuleServeDivergence
+			res.Diagnostic = fmt.Sprintf("stream %d: response log diverges from the oracle replay", i)
+			return res
+		}
+		if got := c.Srv.PredictorSnapshot(i); !reflect.DeepEqual(got, wantSnap) {
+			res.Outcome = OutcomeViolation
+			res.Rule = RuleServeDivergence
+			res.Diagnostic = fmt.Sprintf("stream %d: recovered predictor (%d bytes) is not byte-identical to the oracle (%d bytes)",
+				i, len(got), len(wantSnap))
+			return res
+		}
+	}
+	res.Outcome = OutcomeOK
+	return res
+}
+
+// classifyServe sorts a harness error into a violation (the service
+// broke its contract) or a stall (the fault plan was too hostile).
+func classifyServe(c *serve.Cluster, res Result, err error) Result {
+	res.Diagnostic = err.Error()
+	for _, cl := range c.Clients {
+		if cerr := cl.Err(); cerr != nil {
+			res.Outcome = OutcomeViolation
+			res.Rule = RuleServeClient
+			res.Diagnostic = cerr.Error()
+			return res
+		}
+	}
+	res.Outcome = OutcomeStall
+	return res
+}
+
+// ServeSweep runs n consecutive serve chaos seeds starting at start
+// over a pool of workers goroutines, returning results in seed order.
+func ServeSweep(cfg ServeConfig, start int64, n, workers int) []Result {
+	out, _ := parallel.Map(n, workers, func(i int) (Result, error) {
+		return RunServeSeed(cfg, start+int64(i)), nil
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/serve"
+)
+
+// TestServeSeedCleanSweep: a handful of kill-and-restore seeds must
+// come back clean — byte-identical to the oracle.
+func TestServeSeedCleanSweep(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Obs = 100
+	for _, res := range ServeSweep(cfg, 1, 4, 2) {
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("seed %d: %s [%s] %s", res.Seed, res.Outcome, res.Rule, res.Diagnostic)
+		}
+	}
+}
+
+// TestServeSeedDeterministic: the same (cfg, seed) reproduces the same
+// result.
+func TestServeSeedDeterministic(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Obs = 100
+	a, b := RunServeSeed(cfg, 7), RunServeSeed(cfg, 7)
+	if a != b {
+		t.Fatalf("seed 7 ran twice with different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestServeCorruptionSelfCheck: every injected damage mode is caught,
+// and caught with its own error class.
+func TestServeCorruptionSelfCheck(t *testing.T) {
+	for _, mode := range []string{serve.CorruptSnapshot, serve.CorruptWAL, serve.CorruptVersion} {
+		cfg := DefaultServeConfig()
+		cfg.Obs = 100
+		cfg.Corrupt = mode
+		res := RunServeSeed(cfg, 3)
+		if res.Outcome != OutcomeViolation || res.Rule != RuleServeCorruptionDetected {
+			t.Fatalf("%s: %s [%s] %s — injected damage must be detected with its class",
+				mode, res.Outcome, res.Rule, res.Diagnostic)
+		}
+	}
+}

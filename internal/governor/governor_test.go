@@ -225,3 +225,130 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("two identical scripts diverged:\n%s\n%s", a, b)
 	}
 }
+
+// TestHalfOpenProbeHysteresisAcrossStreams drives the breaker with
+// three independent streams (disjoint block sets, as when a prediction
+// service multiplexes per-client traffic through one machine) and pins
+// two contracts at once: the breaker and its probe hysteresis are
+// global — one bad stream trips everyone, exactly one probe is
+// outstanding no matter which stream asks, and the close streak
+// accumulates across streams — while the confidence counters stay
+// per-stream: one stream's mispredictions never touch another stream's
+// blocks.
+func TestHalfOpenProbeHysteresisAcrossStreams(t *testing.T) {
+	cfg := Config{CounterMax: 3, Threshold: 2, Window: 8, TripRate: 0.5, Cooldown: 4, ProbeStreak: 3}
+	g := mustNew(t, cfg)
+	s0, s1, s2 := coherence.Addr(0x1000), coherence.Addr(0x2000), coherence.Addr(0x3000)
+
+	// Each stream builds confidence on its own block.
+	for _, s := range []coherence.Addr{s0, s1, s2} {
+		g.Observe(s, true)
+		g.Observe(s, true)
+	}
+
+	// Stream 0 alone goes bad and trips the global breaker.
+	for i := 0; i < 4; i++ {
+		g.Observe(s0, false)
+	}
+	if g.State() != Open {
+		t.Fatalf("state %v after stream-0 misprediction burst, want open", g.State())
+	}
+	if g.Stats().Trips != 1 {
+		t.Fatalf("Trips = %d, want 1", g.Stats().Trips)
+	}
+	// Per-stream isolation: only stream 0's counter was reset.
+	if got := g.Confidence(s0); got != 0 {
+		t.Fatalf("stream 0 confidence %d after its mispredictions, want 0", got)
+	}
+	for _, s := range []coherence.Addr{s1, s2} {
+		if got := g.Confidence(s); got != 2 {
+			t.Fatalf("innocent stream %#x confidence %d, want untouched 2", uint64(s), got)
+		}
+	}
+	// The Open breaker denies even confident innocent streams.
+	if g.Allow(stache.SpecForward, s1) {
+		t.Fatal("open breaker allowed an innocent stream to speculate")
+	}
+
+	// Cooldown counts observations from any stream.
+	for i := 0; i < cfg.Cooldown; i++ {
+		g.Observe(s1, true)
+	}
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", g.State())
+	}
+
+	// Exactly one probe is outstanding across all streams.
+	if !g.Allow(stache.SpecForward, s1) {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	if g.Allow(stache.SpecForward, s2) {
+		t.Fatal("second concurrent probe granted to another stream")
+	}
+	// Background observations from other streams neither close nor trip.
+	g.Observe(s2, true)
+	g.Observe(s2, true)
+	if g.State() != HalfOpen {
+		t.Fatalf("background observations moved the breaker to %v", g.State())
+	}
+
+	// One wrong probe re-opens the breaker (hysteresis), and the reset
+	// it causes stays confined to the probing stream's block.
+	g.Record(stache.SpecForward, s1, false)
+	if g.State() != Open {
+		t.Fatalf("state %v after wrong probe, want open", g.State())
+	}
+	if g.Stats().Trips != 2 {
+		t.Fatalf("Trips = %d after re-open, want 2", g.Stats().Trips)
+	}
+	if g.Confidence(s1) != 0 || g.Confidence(s2) == 0 {
+		t.Fatalf("wrong probe reset the wrong stream: s1=%d s2=%d",
+			g.Confidence(s1), g.Confidence(s2))
+	}
+
+	// Second recovery: the close streak accumulates across streams.
+	for i := 0; i < cfg.Cooldown; i++ {
+		g.Observe(s2, true)
+	}
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v after second cooldown, want half-open", g.State())
+	}
+	probe := func(s coherence.Addr) {
+		t.Helper()
+		if !g.Allow(stache.SpecForward, s) {
+			t.Fatalf("probe on %#x refused", uint64(s))
+		}
+		g.Record(stache.SpecForward, s, true)
+	}
+	probe(s2)
+	// Stream 0 rebuilds its own confidence with background observations
+	// before taking its turn probing.
+	g.Observe(s0, true)
+	g.Observe(s0, true)
+	probe(s0)
+	if g.State() != HalfOpen {
+		t.Fatalf("state %v two probes into a streak of %d", g.State(), cfg.ProbeStreak)
+	}
+	probe(s2)
+	if g.State() != Closed {
+		t.Fatalf("state %v after %d clean cross-stream probes, want closed", g.State(), cfg.ProbeStreak)
+	}
+	if g.Stats().Closes != 1 {
+		t.Fatalf("Closes = %d, want 1", g.Stats().Closes)
+	}
+
+	// Closing cleared the window: re-tripping needs a full window of
+	// fresh evidence, not the pre-trip residue.
+	for i := 0; i < cfg.Window/2; i++ {
+		g.Observe(s0, false)
+	}
+	if g.State() != Closed {
+		t.Fatalf("half a fresh window re-tripped the breaker (state %v)", g.State())
+	}
+	for i := 0; i < cfg.Window/2; i++ {
+		g.Observe(s0, false)
+	}
+	if g.State() != Open {
+		t.Fatalf("a full window of fresh mispredictions did not trip (state %v)", g.State())
+	}
+}

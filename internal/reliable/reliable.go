@@ -31,6 +31,39 @@ import (
 // is declared dead (sim.Config.RetxMaxRetries overrides).
 const DefaultMaxRetries = 12
 
+// DefaultBackoffCapFactor derives the default retransmit-backoff cap
+// from the initial timeout (sim.Config.RetxBackoffCapNs overrides).
+// Uncapped, the backoff of the final default retry would reach 2^12
+// times the initial timeout — a frame caught in a transient outage
+// would wait far past the outage's end before probing again. The cap
+// keeps the probe interval bounded while still backing off enough that
+// a congested link is not hammered.
+const DefaultBackoffCapFactor = 64
+
+// LinkDeadError is the hard failure reported when one frame exhausts
+// its retry budget: the directed link it was sent on is effectively
+// dead. It is the error surfaced through Transport.Err / OnFailure (and
+// wrapped by machine.Run), so callers can pick out which link died with
+// errors.As instead of parsing the message.
+type LinkDeadError struct {
+	// Src, Dst name the dead directed link.
+	Src, Dst coherence.NodeID
+	// TSeq is the transport sequence number of the stuck frame.
+	TSeq uint64
+	// Retries is how many retransmissions were attempted.
+	Retries int
+	// FirstSent is when the frame was first transmitted.
+	FirstSent sim.Time
+	// Msg is the stuck coherence message.
+	Msg coherence.Msg
+}
+
+// Error renders the diagnostic, naming the link and the stuck frame.
+func (e *LinkDeadError) Error() string {
+	return fmt.Sprintf("reliable: link %v->%v dead: frame %d (%v, first sent at %v) unacknowledged after %d retransmits",
+		e.Src, e.Dst, e.TSeq, e.Msg, e.FirstSent, e.Retries)
+}
+
 // Stats aggregates transport activity.
 type Stats struct {
 	// DataSent counts first transmissions of coherence messages.
@@ -92,6 +125,7 @@ type Transport struct {
 	net        *network.Network
 	nodes      int
 	timeout    sim.Time // initial retransmit timeout
+	backoffCap sim.Time // upper bound on the doubled backoff
 	maxRetries int
 	handlers   []network.Handler
 	links      []*link
@@ -118,11 +152,21 @@ func New(engine *sim.Engine, nw *network.Network, cfg sim.Config) *Transport {
 	if maxRetries == 0 {
 		maxRetries = DefaultMaxRetries
 	}
+	backoffCap := cfg.RetxBackoffCapNs
+	if backoffCap == 0 {
+		backoffCap = DefaultBackoffCapFactor * timeout
+	}
+	if backoffCap < timeout {
+		// A cap below the initial timeout would make the "backoff"
+		// shrink; clamp to constant-interval retransmission instead.
+		backoffCap = timeout
+	}
 	t := &Transport{
 		engine:     engine,
 		net:        nw,
 		nodes:      nw.Nodes(),
 		timeout:    timeout,
+		backoffCap: backoffCap,
 		maxRetries: maxRetries,
 		handlers:   make([]network.Handler, nw.Nodes()),
 		links:      make([]*link, nw.Nodes()*nw.Nodes()),
@@ -254,12 +298,17 @@ func (t *Transport) timerFired(l *link, ts uint64) {
 	}
 	if o.retries >= t.maxRetries {
 		//cosmosvet:allow hotpath link-death diagnostic; the run is already failing
-		t.fail(fmt.Errorf("reliable: link %v->%v dead: frame %d (%v, first sent at %v) unacknowledged after %d retransmits",
-			l.src, l.dst, ts, o.msg, o.sentAt, o.retries))
+		t.fail(&LinkDeadError{
+			Src: l.src, Dst: l.dst, TSeq: ts,
+			Retries: o.retries, FirstSent: o.sentAt, Msg: o.msg,
+		})
 		return
 	}
 	o.retries++
 	o.backoff *= 2
+	if o.backoff > t.backoffCap {
+		o.backoff = t.backoffCap
+	}
 	t.stats.Retransmits++
 	t.net.SendPacket(network.Packet{Src: l.src, Dst: l.dst, Msg: o.msg, TSeq: ts, Retx: true})
 	t.armTimer(l, ts)

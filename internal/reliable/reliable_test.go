@@ -1,6 +1,7 @@
 package reliable
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -222,5 +223,113 @@ func TestAckLossRepairedByRetransmission(t *testing.T) {
 	}
 	if got != n {
 		t.Fatalf("delivered %d, want %d", got, n)
+	}
+}
+
+// deadLinkHarness builds a transport over a permanently blacked-out
+// 0->1 link with explicit timeout, backoff cap, and retry budget, sends
+// one frame at t=0, and runs to completion.
+func deadLinkHarness(t *testing.T, timeout, cap sim.Time, maxRetries int) (*sim.Engine, *Transport) {
+	t.Helper()
+	engine := &sim.Engine{}
+	cfg := sim.DefaultConfig()
+	cfg.Faults = faults.Plan{Seed: 5, Blackouts: []faults.Blackout{{Src: 0, Dst: 1}}}
+	cfg.RetxTimeoutNs = timeout
+	cfg.RetxBackoffCapNs = cap
+	cfg.RetxMaxRetries = maxRetries
+	nw, err := network.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(engine, nw, cfg)
+	tr.Bind(0, func(coherence.Msg) {})
+	tr.Bind(1, func(coherence.Msg) {})
+	engine.At(0, func() {
+		tr.Send(coherence.Msg{Src: 0, Dst: 1, Type: coherence.GetROReq, Addr: 64})
+	})
+	if _, err := engine.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return engine, tr
+}
+
+// TestBackoffCapBoundsRetransmitSchedule pins the exact retransmit
+// schedule under a cap: the backoff doubles until it hits the cap and
+// stays there, so link death arrives at a bounded, computable time
+// instead of after an exponentially growing final wait.
+func TestBackoffCapBoundsRetransmitSchedule(t *testing.T) {
+	const (
+		timeout    = sim.Time(100)
+		cap        = sim.Time(400)
+		maxRetries = 6
+	)
+	// Timer fires at cumulative sums of the per-retry backoffs
+	// 100, 200, 400, 400, 400, 400, 400 — the uncapped tail would be
+	// 400, 800, 1600, 3200, 6400 ending at t=12700.
+	const wantDeath = sim.Time(100 + 200 + 400 + 400 + 400 + 400 + 400)
+	e, tr := deadLinkHarness(t, timeout, cap, maxRetries)
+	if tr.Err() == nil {
+		t.Fatal("blacked-out link did not die")
+	}
+	if e.Now() != wantDeath {
+		t.Fatalf("link died at t=%v, want t=%v (capped schedule)", e.Now(), wantDeath)
+	}
+	if got := tr.Stats().Retransmits; got != maxRetries {
+		t.Fatalf("Retransmits = %d, want %d", got, maxRetries)
+	}
+
+	// The same run without an effective cap must die much later.
+	eUncapped, trUncapped := deadLinkHarness(t, timeout, sim.Time(1_000_000), maxRetries)
+	if trUncapped.Err() == nil {
+		t.Fatal("uncapped blacked-out link did not die")
+	}
+	const wantUncapped = sim.Time(100 + 200 + 400 + 800 + 1600 + 3200 + 6400)
+	if eUncapped.Now() != wantUncapped {
+		t.Fatalf("uncapped link died at t=%v, want t=%v", eUncapped.Now(), wantUncapped)
+	}
+}
+
+// TestBackoffCapDefaultsAndClamping covers the derived default and the
+// below-timeout clamp.
+func TestBackoffCapDefaultsAndClamping(t *testing.T) {
+	engine := &sim.Engine{}
+	cfg := sim.DefaultConfig()
+	cfg.RetxTimeoutNs = 500
+	nw, err := network.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := New(engine, nw, cfg); tr.backoffCap != DefaultBackoffCapFactor*500 {
+		t.Fatalf("default cap = %v, want %v", tr.backoffCap, sim.Time(DefaultBackoffCapFactor*500))
+	}
+	cfg.RetxBackoffCapNs = 10 // below the initial timeout
+	if tr := New(engine, nw, cfg); tr.backoffCap != 500 {
+		t.Fatalf("sub-timeout cap clamped to %v, want 500ns", tr.backoffCap)
+	}
+}
+
+// TestRetryExhaustionIsTypedError pins the satellite contract: retry-
+// cap exhaustion surfaces as *LinkDeadError naming the link, reachable
+// through errors.As, with the same human-readable text as before.
+func TestRetryExhaustionIsTypedError(t *testing.T) {
+	_, tr := deadLinkHarness(t, 100, 400, 3)
+	err := tr.Err()
+	if err == nil {
+		t.Fatal("no failure from a permanently dead link")
+	}
+	var dead *LinkDeadError
+	if !errors.As(err, &dead) {
+		t.Fatalf("failure is %T, want *LinkDeadError", err)
+	}
+	if dead.Src != 0 || dead.Dst != 1 || dead.TSeq != 1 || dead.Retries != 3 {
+		t.Fatalf("LinkDeadError fields wrong: %+v", dead)
+	}
+	if dead.Msg.Addr != 64 || dead.Msg.Type != coherence.GetROReq {
+		t.Fatalf("LinkDeadError carries wrong frame: %+v", dead.Msg)
+	}
+	for _, want := range []string{"link P0->P1 dead", "3 retransmits", "frame 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error text missing %q: %s", want, err)
+		}
 	}
 }

@@ -1,0 +1,218 @@
+// Package serve runs the Cosmos predictor as a long-lived service: a
+// server node ingests per-client coherence-message streams over the
+// reliable transport (internal/reliable), feeds each stream its own
+// core.Predictor, and answers every observation with the predictor's
+// next-message prediction. It is the online counterpart of the batch
+// evaluator — the same predictor, kept warm across an arbitrarily long
+// message stream, expected to survive being killed at any instant.
+//
+// Three robustness layers make the service crash-recoverable:
+//
+//   - A versioned, checksummed snapshot container (CPSS, cpss.go)
+//     serializes the whole service state — per-stream predictor
+//     snapshots (the canonical core encoding), applied/acked cursors,
+//     and the unacknowledged response tail — with the CTRC v2 footer
+//     idiom: trailing payload length plus CRC-32C, so truncation,
+//     corruption, and version skew all fail loudly and distinctly.
+//     Snapshots are content-addressed on disk (store.go) next to a
+//     write-ahead log of observations applied since the snapshot
+//     (wal.go); kill the process anywhere and Recover rebuilds
+//     byte-equivalent predictor state.
+//
+//   - Bounded-queue backpressure (server.go): the ingest queue never
+//     exceeds its configured bound. On overflow the server sheds
+//     deterministically — queries before observations, lower-priority
+//     streams before higher — and counts every shed per stream.
+//     Entries that sit in the queue past their deadline are timed out
+//     rather than served stale, and a forward-progress watchdog fails
+//     the server with a diagnostic dump (the internal/machine diagnose
+//     idiom) instead of hanging silently.
+//
+//   - A crash/chaos harness (harness.go) that drives real clients over
+//     a faulty wire, kills the server at a seeded instant — tearing
+//     the unsynced WAL tail at an arbitrary byte — restores it from
+//     disk, resynchronizes the clients, and proves the predictions
+//     byte-identical to an uninterrupted oracle. internal/chaos sweeps
+//     it across seeds.
+//
+// # Wire protocol
+//
+// Serve links reuse coherence.Msg as the frame, with the Grant field —
+// meaningless between a prediction client and server — repurposed as
+// the message discriminator (helpers below own the mapping):
+//
+//	client -> server
+//	  observation  Grant=MsgInvalid  Type/Requestor = observed tuple, Addr = block
+//	  ack          Grant=SpecPush    Addr = count of responses received
+//	  query        Grant=GetROReq    Addr = block to look up
+//	server -> client
+//	  prediction   Grant=SpecPush    Type/Requestor = predicted tuple, Addr = block
+//	  noPrediction Grant=InvalROReq  Addr = block (predictor has no entry)
+//	  queryHit     Grant=GetROReq    Type/Requestor = predicted tuple, Addr = block
+//	  queryMiss    Grant=GetRWReq    Addr = block
+//
+// Per-stream exactly-once semantics ride on the transport's FIFO
+// guarantee plus durable cursors: the server applies observations in
+// arrival order, counts them per stream, and persists the count; after
+// a crash each client asks the server for its cursor and resends from
+// there. Responses regenerate deterministically during WAL replay, so
+// a response lost with the crashed process is re-sent byte-identical.
+package serve
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+// Grant-field discriminators of the serve wire protocol. The values
+// are arbitrary distinct MsgTypes; their directory-protocol meanings
+// do not apply on serve links.
+const (
+	grantObservation  = coherence.MsgInvalid
+	grantAck          = coherence.SpecPush
+	grantQuery        = coherence.GetROReq
+	grantPrediction   = coherence.SpecPush
+	grantNoPrediction = coherence.InvalROReq
+	grantQueryHit     = coherence.GetROReq
+	grantQueryMiss    = coherence.GetRWReq
+)
+
+// fillerType keeps control messages valid on a network that rejects
+// MsgInvalid frames; receivers dispatch on Grant and ignore it.
+const fillerType = coherence.GetROReq
+
+// Response is one answer to one observation: the predictor's guess at
+// the stream's next message for that block, made immediately after the
+// observation was applied. The sequence number is implicit — responses
+// for a stream are generated, logged, and delivered in applied order.
+type Response struct {
+	Pred coherence.Tuple
+	OK   bool
+}
+
+// obsMsg encodes an observation from client src.
+func obsMsg(src, dst coherence.NodeID, addr coherence.Addr, tup coherence.Tuple) coherence.Msg {
+	return coherence.Msg{Src: src, Dst: dst, Type: tup.Type, Requestor: tup.Sender,
+		Addr: addr, Grant: grantObservation}
+}
+
+// ackMsg encodes "I have received n responses".
+func ackMsg(src, dst coherence.NodeID, n uint64) coherence.Msg {
+	return coherence.Msg{Src: src, Dst: dst, Type: fillerType,
+		Addr: coherence.Addr(n), Grant: grantAck}
+}
+
+// queryMsg encodes a read-only prediction lookup.
+func queryMsg(src, dst coherence.NodeID, addr coherence.Addr) coherence.Msg {
+	return coherence.Msg{Src: src, Dst: dst, Type: fillerType,
+		Addr: addr, Grant: grantQuery}
+}
+
+// responseMsg encodes the answer to an observation.
+func responseMsg(src, dst coherence.NodeID, addr coherence.Addr, r Response) coherence.Msg {
+	if !r.OK {
+		return coherence.Msg{Src: src, Dst: dst, Type: fillerType,
+			Addr: addr, Grant: grantNoPrediction}
+	}
+	return coherence.Msg{Src: src, Dst: dst, Type: r.Pred.Type, Requestor: r.Pred.Sender,
+		Addr: addr, Grant: grantPrediction}
+}
+
+// queryRespMsg encodes the answer to a query.
+func queryRespMsg(src, dst coherence.NodeID, addr coherence.Addr, r Response) coherence.Msg {
+	if !r.OK {
+		return coherence.Msg{Src: src, Dst: dst, Type: fillerType,
+			Addr: addr, Grant: grantQueryMiss}
+	}
+	return coherence.Msg{Src: src, Dst: dst, Type: r.Pred.Type, Requestor: r.Pred.Sender,
+		Addr: addr, Grant: grantQueryHit}
+}
+
+// decodeResponse inverts responseMsg/queryRespMsg.
+func decodeResponse(m coherence.Msg) (Response, bool) {
+	switch m.Grant {
+	case grantPrediction, grantQueryHit:
+		return Response{Pred: coherence.Tuple{Sender: m.Requestor, Type: m.Type}, OK: true},
+			m.Grant == grantQueryHit
+	case grantNoPrediction:
+		return Response{}, false
+	case grantQueryMiss:
+		return Response{}, true
+	default:
+		panic(fmt.Sprintf("serve: not a response: %v grant=%v", m, m.Grant))
+	}
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Node is the server's node id on the transport. Clients are the
+	// nodes 0..Streams-1, so Node must lie outside that range
+	// (conventionally Node == Streams).
+	Node coherence.NodeID
+	// Streams is the number of client streams. Each stream gets its own
+	// predictor; stream i's messages arrive from node i.
+	Streams int
+	// Predictor configures every per-stream predictor.
+	Predictor core.Config
+	// MaxQueue bounds the ingest queue (observations + queries awaiting
+	// service). 0 means the default of 256. The queue NEVER exceeds
+	// this bound: overflow sheds deterministically instead of growing.
+	MaxQueue int
+	// ProcessNs is the simulated service time per queue entry.
+	// 0 means the default of 50ns.
+	ProcessNs sim.Time
+	// DeadlineNs is the per-stream queue timeout: an entry that waited
+	// longer than this before reaching the head is timed out, not
+	// served. 0 disables deadlines.
+	DeadlineNs sim.Time
+	// SnapshotEvery checkpoints the service state to the store after
+	// this many applied observations. 0 disables periodic snapshots
+	// (the WAL still makes every observation durable).
+	SnapshotEvery int
+	// WatchdogNs fails the server with a diagnostic dump when the queue
+	// holds work but nothing was processed for this much simulated
+	// time. 0 disables the watchdog.
+	WatchdogNs sim.Time
+	// Priority ranks streams for shedding: higher values survive
+	// overload longer. nil means all streams rank equal (priority 0).
+	// Must be nil or of length Streams.
+	Priority []int
+}
+
+// withDefaults returns cfg with zero fields defaulted.
+func (c Config) withDefaults() Config {
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.ProcessNs == 0 {
+		c.ProcessNs = 50
+	}
+	return c
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Streams < 1 {
+		return fmt.Errorf("serve: Streams %d < 1", c.Streams)
+	}
+	if int(c.Node) >= 0 && int(c.Node) < c.Streams {
+		return fmt.Errorf("serve: server node %v collides with client stream nodes 0..%d",
+			c.Node, c.Streams-1)
+	}
+	if err := c.Predictor.Validate(); err != nil {
+		return fmt.Errorf("serve: predictor: %w", err)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("serve: MaxQueue %d < 0", c.MaxQueue)
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("serve: SnapshotEvery %d < 0", c.SnapshotEvery)
+	}
+	if c.Priority != nil && len(c.Priority) != c.Streams {
+		return fmt.Errorf("serve: Priority has %d entries for %d streams", len(c.Priority), c.Streams)
+	}
+	return nil
+}

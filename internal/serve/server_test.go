@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/faults"
+	"github.com/cosmos-coherence/cosmos/internal/network"
+	"github.com/cosmos-coherence/cosmos/internal/reliable"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
+)
+
+var testPredictor = core.Config{Depth: 2, FilterMax: 1}
+
+// assertMatchesOracle checks every client's verified response log and
+// the server's final predictor bytes against the transport-free
+// oracle.
+func assertMatchesOracle(t *testing.T, c *Cluster, workload [][]Obs) {
+	t.Helper()
+	for i, obs := range workload {
+		wantResp, wantSnap, err := Oracle(testPredictor, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c.Clients[i].Recv, wantResp) {
+			t.Fatalf("stream %d: response log diverges from oracle", i)
+		}
+		if got := c.Srv.PredictorSnapshot(i); !bytes.Equal(got, wantSnap) {
+			t.Fatalf("stream %d: predictor state (%d bytes) differs from oracle (%d bytes)",
+				i, len(got), len(wantSnap))
+		}
+	}
+}
+
+// TestServeMatchesOracle: an uninterrupted run over a faulty wire
+// produces exactly the oracle's responses and predictor state.
+func TestServeMatchesOracle(t *testing.T) {
+	workload := GenWorkload(1, 3, 300)
+	c, err := NewCluster(HarnessConfig{
+		Dir:    t.TempDir(),
+		Server: Config{Predictor: testPredictor, SnapshotEvery: 64},
+		Plan:   faults.Plan{Seed: 5, DropProb: 0.02, DupProb: 0.02, JitterNs: 150},
+	}, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, c, workload)
+	if st := c.Srv.Stats(); st.Applied != 900 || st.Checkpoints == 0 {
+		t.Fatalf("stats = %+v, want 900 applied and periodic checkpoints", st)
+	}
+}
+
+// TestKillRestoreByteEquivalence is the tentpole acceptance test: kill
+// the server at a seeded instant, tear the unsynced WAL tail at a
+// seeded byte, restore, resync, run to completion — and the service
+// must be indistinguishable from one that never crashed: byte-equal
+// predictor state and byte-equal response streams, with regenerated
+// responses verified against what clients already held.
+func TestKillRestoreByteEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		workload := GenWorkload(seed, 2+r.Intn(3), 250)
+		c, err := NewCluster(HarnessConfig{
+			Dir: t.TempDir(),
+			Server: Config{Predictor: testPredictor,
+				SnapshotEvery: 32 + r.Intn(64)},
+			Plan: faults.Plan{Seed: uint64(seed), DropProb: 0.01, JitterNs: 100},
+		}, workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kills := 1 + r.Intn(3)
+		for k := 0; k < kills; k++ {
+			killAt := c.Eng.Now() + sim.Time(2_000+r.Intn(20_000))
+			if err := c.Kill(killAt, r.Float64()); err != nil {
+				t.Fatalf("seed %d kill %d: %v", seed, k, err)
+			}
+			if err := c.Restart(); err != nil {
+				t.Fatalf("seed %d restart %d: %v", seed, k, err)
+			}
+		}
+		if err := c.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertMatchesOracle(t, c, workload)
+	}
+}
+
+// TestRecoveredStateIsByteIdentical kills mid-run and compares the
+// restored predictors directly against a parallel server that was fed
+// the same durable prefix — state equivalence without finishing the
+// workload.
+func TestRecoveredStateIsByteIdentical(t *testing.T) {
+	workload := GenWorkload(3, 2, 400)
+	c, err := NewCluster(HarnessConfig{
+		Dir:    t.TempDir(),
+		Server: Config{Predictor: testPredictor, SnapshotEvery: 50},
+	}, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(30_000, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range workload {
+		cursor := c.Srv.Cursor(i)
+		// Feed exactly the durable prefix to a fresh predictor: the
+		// restored predictor must hold identical bytes.
+		p, err := core.New(testPredictor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range workload[i][:cursor] {
+			p.Observe(o.Addr, o.Tup)
+		}
+		if !bytes.Equal(c.Srv.PredictorSnapshot(i), p.Snapshot()) {
+			t.Fatalf("stream %d: restored predictor differs from %d-observation oracle prefix", i, cursor)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, c, workload)
+}
+
+// rawHarness builds an engine/wire/transport/server stack without
+// harness clients, for tests that drive crafted frames directly.
+func rawHarness(t *testing.T, cfg Config, clients int) (*sim.Engine, *reliable.Transport, *Server) {
+	t.Helper()
+	simCfg := sim.DefaultConfig()
+	simCfg.Nodes = clients + 1
+	eng := &sim.Engine{}
+	nw, err := network.New(eng, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := reliable.New(eng, nw, simCfg)
+	for i := 0; i < clients; i++ {
+		tr.Bind(coherence.NodeID(i), func(coherence.Msg) {})
+	}
+	cfg.Streams = clients
+	cfg.Node = coherence.NodeID(clients)
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, tr, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tr, srv
+}
+
+func sendObs(eng *sim.Engine, tr *reliable.Transport, at sim.Time, stream int, server coherence.NodeID, addr coherence.Addr) {
+	eng.At(at, func() {
+		tr.Send(obsMsg(coherence.NodeID(stream), server, addr,
+			coherence.Tuple{Sender: 1, Type: coherence.GetROReq}))
+	})
+}
+
+// TestBackpressureShedsDeterministically floods a tiny queue from
+// three streams of descending priority and pins the shed contract:
+// the queue never grows past its bound, the lowest-priority stream is
+// shed first, queries shed before any observation, and the whole
+// outcome is deterministic run to run.
+func TestBackpressureShedsDeterministically(t *testing.T) {
+	run := func() (Stats, error) {
+		cfg := Config{Predictor: testPredictor, MaxQueue: 4,
+			ProcessNs: 100_000, Priority: []int{2, 1, 0}}
+		eng, tr, srv := rawHarness(t, cfg, 3)
+		// 4 observations per stream, arriving interleaved long before
+		// anything is processed: 12 arrivals into a queue of 4.
+		for i := 0; i < 4; i++ {
+			for s := 0; s < 3; s++ {
+				sendObs(eng, tr, sim.Time(100*(3*i+s)+1), s, srv.cfg.Node, coherence.Addr(64*i))
+			}
+		}
+		// A query from the highest-priority stream while the queue is
+		// full of observations: it must be shed, not an observation.
+		eng.At(2_000, func() { tr.Send(queryMsg(0, srv.cfg.Node, 0)) })
+		if _, err := eng.Run(0); err != nil {
+			return Stats{}, err
+		}
+		srv.Close()
+		return srv.Stats(), srv.Err()
+	}
+	st, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxQueueDepth > 4 {
+		t.Fatalf("queue reached %d, bound is 4", st.MaxQueueDepth)
+	}
+	if st.ShedQueries != 1 {
+		t.Fatalf("ShedQueries = %d, want the full-queue query shed", st.ShedQueries)
+	}
+	// Stream 2 (lowest priority) bears the observation shedding;
+	// stream 0 (highest) loses nothing but its query.
+	if st.Shed[2] == 0 {
+		t.Fatal("lowest-priority stream shed nothing under overload")
+	}
+	if st.Shed[0] != 1 || st.Dropped[0] != 0 {
+		t.Fatalf("highest-priority stream shed=%d dropped=%d, want only its query shed",
+			st.Shed[0], st.Dropped[0])
+	}
+	// A shed observation breaks contiguity: later arrivals drop.
+	if st.Dropped[2] == 0 {
+		t.Fatal("lagging stream dropped no follow-on observations")
+	}
+	// Determinism: an identical run sheds identically.
+	st2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("two identical overload runs diverged:\n%+v\n%+v", st, st2)
+	}
+}
+
+// TestShedThenResyncRecoversStream: a lagging stream is re-admitted by
+// Resync and serves correctly from its durable cursor.
+func TestShedThenResyncRecoversStream(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, MaxQueue: 1, ProcessNs: 10_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	for i := 0; i < 4; i++ {
+		sendObs(eng, tr, sim.Time(100*(i+1)), 0, srv.cfg.Node, 0)
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Lagging(0) {
+		t.Fatal("overloaded stream did not go lagging")
+	}
+	applied := srv.Cursor(0)
+	cursor, err := srv.Resync(0, applied)
+	if err != nil || cursor != applied {
+		t.Fatalf("Resync = %d, %v; want cursor %d", cursor, err, applied)
+	}
+	if srv.Lagging(0) {
+		t.Fatal("Resync left the stream lagging")
+	}
+	sendObs(eng, tr, eng.Now()+100, 0, srv.cfg.Node, 64)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Cursor(0) != applied+1 {
+		t.Fatalf("cursor %d after resynced observation, want %d", srv.Cursor(0), applied+1)
+	}
+}
+
+// TestDeadlineTimesOutStaleWork: entries older than DeadlineNs are
+// timed out rather than served stale.
+func TestDeadlineTimesOutStaleWork(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, MaxQueue: 16,
+		ProcessNs: 5_000, DeadlineNs: 6_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	// Four near-simultaneous observations: by the time the third would
+	// be served (t≈15000) it has waited 3×ProcessNs > DeadlineNs.
+	for i := 0; i < 4; i++ {
+		sendObs(eng, tr, sim.Time(100+sim.Time(i)), 0, srv.cfg.Node, coherence.Addr(64*i))
+	}
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.TimedOut[0] == 0 {
+		t.Fatalf("no entries timed out: %+v", st)
+	}
+	if st.Applied+st.TimedOut[0]+st.Dropped[0] != 4 {
+		t.Fatalf("entries unaccounted for: %+v", st)
+	}
+}
+
+// TestWatchdogReportsStall: a wedged worker fails the server with the
+// diagnose dump instead of hanging.
+func TestWatchdogReportsStall(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, WatchdogNs: 50_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	var cbErr error
+	srv.OnFailure(func(err error) { cbErr = err })
+	srv.stalled = true // the test hook: freeze the worker
+	sendObs(eng, tr, 100, 0, srv.cfg.Node, 0)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	err := srv.Err()
+	if err == nil || cbErr == nil {
+		t.Fatalf("stalled server did not fail (err=%v cb=%v)", err, cbErr)
+	}
+	for _, want := range []string{"no progress", "serve diagnostic at t=", "stream 0:", "head:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("watchdog error missing %q:\n%v", want, err)
+		}
+	}
+	// The watchdog must not keep a healthy drained server alive: a
+	// fresh server that finishes its work lets the engine go quiet.
+	eng2, tr2, srv2 := rawHarness(t, cfg, 1)
+	sendObs(eng2, tr2, 100, 0, srv2.cfg.Node, 0)
+	if _, err := eng2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Err(); err != nil {
+		t.Fatalf("healthy server tripped its watchdog: %v", err)
+	}
+}
+
+// TestAckAheadOfRecoveredCursorClamps: after a crash loses WAL tail
+// observations, a surviving client legitimately acks beyond the
+// recovered cursor; the server must clamp and catch up, not fail.
+// (Found by the chaos sweep: seed 96 of the first 100.)
+func TestAckAheadOfRecoveredCursorClamps(t *testing.T) {
+	cfg := Config{Predictor: testPredictor}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	sendObs(eng, tr, 100, 0, srv.cfg.Node, 0)
+	sendObs(eng, tr, 200, 0, srv.cfg.Node, 64)
+	eng.At(1_000, func() { tr.Send(ackMsg(0, srv.cfg.Node, 5)) })
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("ahead-of-cursor ack failed the server: %v", err)
+	}
+	if srv.Cursor(0) != 2 || len(srv.streams[0].resp) != 0 {
+		t.Fatalf("cursor %d with %d retained responses; want 2 applied, tail fully pruned",
+			srv.Cursor(0), len(srv.streams[0].resp))
+	}
+	// The next applied observation retains its response again (acked
+	// was clamped to 2, not left at 5).
+	sendObs(eng, tr, eng.Now()+100, 0, srv.cfg.Node, 128)
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.streams[0].resp) != 1 {
+		t.Fatalf("retained %d responses after a post-clamp observation, want 1", len(srv.streams[0].resp))
+	}
+}
+
+// TestQueryAnswersWithoutObserving: queries read predictions without
+// mutating predictor state.
+func TestQueryAnswersWithoutObserving(t *testing.T) {
+	cfg := Config{Predictor: testPredictor}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	var got []Response
+	tr.Bind(0, func(m coherence.Msg) {
+		r, isQuery := decodeResponse(m)
+		if isQuery {
+			got = append(got, r)
+		}
+	})
+	// Three identical observations: with Depth 2 the third installs
+	// the PHT entry for the now-current history, making 0 predictable.
+	sendObs(eng, tr, 100, 0, srv.cfg.Node, 0)
+	sendObs(eng, tr, 200, 0, srv.cfg.Node, 0)
+	sendObs(eng, tr, 300, 0, srv.cfg.Node, 0)
+	eng.At(1_000, func() { tr.Send(queryMsg(0, srv.cfg.Node, 0)) })
+	eng.At(1_100, func() { tr.Send(queryMsg(0, srv.cfg.Node, 4096)) })
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	digestBefore := srv.StateDigest(0)
+	if len(got) != 2 {
+		t.Fatalf("received %d query responses, want 2", len(got))
+	}
+	if !got[0].OK {
+		t.Fatal("query for a trained block returned no prediction")
+	}
+	if got[1].OK {
+		t.Fatal("query for an untouched block returned a prediction")
+	}
+	if srv.StateDigest(0) != digestBefore || srv.Cursor(0) != 3 {
+		t.Fatal("queries mutated predictor state")
+	}
+	if st := srv.Stats(); st.Queries != 2 {
+		t.Fatalf("Queries = %d, want 2", st.Queries)
+	}
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// the transport declares the link dead and fails the run. 0 means
 	// the default of 12.
 	RetxMaxRetries int
+	// RetxBackoffCapNs bounds the exponential retransmit backoff: the
+	// per-frame timeout doubles on every retry but never past this cap,
+	// so a frame stuck behind a long outage keeps probing at a bounded
+	// interval instead of backing off into the far future. 0 derives
+	// the default of reliable.DefaultBackoffCapFactor times the initial
+	// timeout; a cap below the initial timeout is clamped up to it.
+	RetxBackoffCapNs Time
 
 	// Invariants enables the runtime coherence invariant monitor
 	// (internal/invariant): the machine checks SWMR, directory/cache

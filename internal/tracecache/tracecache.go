@@ -66,10 +66,19 @@ func (c Cache) Load(key string) (*trace.Trace, bool, error) {
 	return tr, true, nil
 }
 
+// fsyncTemp flushes the temp file to stable storage before the rename.
+// A test hook so the crash-window test can observe (and sabotage) the
+// ordering without a real power cut.
+var fsyncTemp = (*os.File).Sync
+
 // Store writes the trace under key. The write goes to a temporary file
-// in the cache directory and is renamed into place, so concurrent
-// readers and crashed writers never observe a partial entry; the CTRC
-// footer catches anything that slips through anyway.
+// in the cache directory, is fsynced, and is renamed into place, so
+// concurrent readers and crashed writers never observe a partial entry.
+// The fsync before the rename closes the power-loss window where the
+// rename is durable but the data blocks are not — without it a crash
+// can leave a correctly-named entry full of zeros, which the CTRC
+// footer would catch only at the next load, as corruption rather than
+// a miss. A cache entry must be durable before it is visible.
 func (c Cache) Store(key string, tr *trace.Trace) error {
 	if !c.Enabled() {
 		return nil
@@ -85,6 +94,10 @@ func (c Cache) Store(key string, tr *trace.Trace) error {
 	if err := trace.Write(tmp, tr); err != nil {
 		tmp.Close()
 		return fmt.Errorf("tracecache: encode %s: %w", key, err)
+	}
+	if err := fsyncTemp(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tracecache: fsync temp: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("tracecache: close temp: %w", err)

@@ -90,21 +90,100 @@ func TestCorruptionIsLoudNotAMiss(t *testing.T) {
 }
 
 // TestStoreLeavesNoTempFiles checks the temp-and-rename install
-// doesn't litter the cache directory.
+// doesn't litter the cache directory, and covers the crash window
+// around the rename: the temp file is fsynced before it is renamed,
+// a failing fsync aborts the install with no entry visible, and a
+// writer that died mid-write (stale temp file) never turns into a
+// named cache entry.
 func TestStoreLeavesNoTempFiles(t *testing.T) {
-	c := Cache{Dir: t.TempDir()}
-	if err := c.Store("key", sample()); err != nil {
-		t.Fatal(err)
-	}
-	entries, err := os.ReadDir(c.Dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 1 || entries[0].Name() != "key.ctrc" {
+	dirNames := func(t *testing.T, dir string) []string {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
 		names := make([]string, len(entries))
 		for i, e := range entries {
 			names[i] = e.Name()
 		}
-		t.Fatalf("cache dir holds %v, want [key.ctrc]", names)
+		return names
 	}
+
+	t.Run("clean install", func(t *testing.T) {
+		c := Cache{Dir: t.TempDir()}
+		if err := c.Store("key", sample()); err != nil {
+			t.Fatal(err)
+		}
+		if names := dirNames(t, c.Dir); len(names) != 1 || names[0] != "key.ctrc" {
+			t.Fatalf("cache dir holds %v, want [key.ctrc]", names)
+		}
+	})
+
+	t.Run("fsync precedes rename", func(t *testing.T) {
+		c := Cache{Dir: t.TempDir()}
+		defer func() { fsyncTemp = (*os.File).Sync }()
+		synced := false
+		fsyncTemp = func(f *os.File) error {
+			synced = true
+			// At fsync time the install must not have happened yet: the
+			// entry becomes visible only after its bytes are durable.
+			if _, err := os.Stat(filepath.Join(c.Dir, "key.ctrc")); err == nil {
+				t.Error("entry renamed into place before fsync")
+			}
+			return f.Sync()
+		}
+		if err := c.Store("key", sample()); err != nil {
+			t.Fatal(err)
+		}
+		if !synced {
+			t.Fatal("Store never fsynced the temp file")
+		}
+	})
+
+	t.Run("fsync failure aborts install", func(t *testing.T) {
+		c := Cache{Dir: t.TempDir()}
+		defer func() { fsyncTemp = (*os.File).Sync }()
+		fsyncTemp = func(*os.File) error { return os.ErrClosed }
+		err := c.Store("key", sample())
+		if err == nil || !strings.Contains(err.Error(), "fsync") {
+			t.Fatalf("Store with failing fsync returned %v, want an fsync error", err)
+		}
+		// Nothing installed, nothing littered: a crash in the durability
+		// window must not produce a visible entry.
+		if names := dirNames(t, c.Dir); len(names) != 0 {
+			t.Fatalf("aborted install left %v behind", names)
+		}
+	})
+
+	t.Run("crashed writer's temp never becomes an entry", func(t *testing.T) {
+		c := Cache{Dir: t.TempDir()}
+		if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// A writer killed mid-write leaves a half-written temp file.
+		stale := filepath.Join(c.Dir, "key.tmp-12345")
+		if err := os.WriteFile(stale, []byte("torn partial write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The key still misses cleanly — the stale temp is invisible.
+		if _, ok, err := c.Load("key"); ok || err != nil {
+			t.Fatalf("Load with stale temp = %v, %v; want clean miss", ok, err)
+		}
+		// A later successful Store installs the fresh bytes; the stale
+		// temp stays a temp and the entry loads intact.
+		if err := c.Store("key", sample()); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := c.Load("key")
+		if err != nil || !ok {
+			t.Fatalf("Load after re-store = %v, %v; want hit", ok, err)
+		}
+		if !reflect.DeepEqual(got.Records, sample().Records) {
+			t.Fatal("entry does not hold the freshly stored trace")
+		}
+		names := dirNames(t, c.Dir)
+		if len(names) != 2 || names[0] != "key.ctrc" || names[1] != "key.tmp-12345" {
+			t.Fatalf("cache dir holds %v, want [key.ctrc key.tmp-12345]", names)
+		}
+	})
 }
