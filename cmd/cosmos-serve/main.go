@@ -41,6 +41,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/prof"
 	"github.com/cosmos-coherence/cosmos/internal/serve"
+	"github.com/cosmos-coherence/cosmos/internal/sim"
 )
 
 func main() {
@@ -73,6 +74,7 @@ func run() error {
 		corrupt  = flag.String("corrupt", "", "inject store damage between kill and restart: snapshot | wal | version")
 		load     = flag.Int("load", 0, "load-generator mode: run one deployment with this many observations per stream")
 		depth    = flag.Int("depth", 2, "predictor MHR depth for load mode")
+		gap      = flag.Uint64("gap", 0, "load mode per-stream inter-observation pacing (ns); 0 derives a sustainable rate from -streams")
 		maxP99   = flag.Uint64("max-p99", 0, "load mode SLO: fail if p99 response latency exceeds this (ns); 0 disables")
 		minTput  = flag.Float64("min-tput", 0, "load mode SLO: fail if simulated throughput falls below this (obs/s); 0 disables")
 		verbose  = flag.Bool("v", false, "print every seed, not just failures")
@@ -100,7 +102,7 @@ func run() error {
 	}()
 
 	if *load > 0 {
-		return loadRun(*seed, *streams, *load, *depth, *snapshot, *drop, *dup, *jitter, *maxP99, *minTput)
+		return loadRun(*seed, *streams, *load, *depth, *snapshot, *drop, *dup, *jitter, *gap, *maxP99, *minTput)
 	}
 
 	cfg := chaos.ServeConfig{
@@ -169,12 +171,21 @@ func run() error {
 
 // loadRun is the load-generator mode: one uninterrupted deployment,
 // reported as simulated throughput and latency percentiles.
-func loadRun(seed int64, streams, obs, depth, snapshot int, drop, dup float64, jitter, maxP99 uint64, minTput float64) error {
+func loadRun(seed int64, streams, obs, depth, snapshot int, drop, dup float64, jitter, gap, maxP99 uint64, minTput float64) error {
 	dir, err := os.MkdirTemp("", "cosmos-serve-load-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
+	if gap == 0 {
+		// The server serves one entry per 50ns (the ProcessNs default),
+		// so N streams must each pace at ≥ 50N ns just to break even.
+		// Default to twice that: half-capacity offered load, which keeps
+		// the queue shallow and the latency numbers meaningful. A gap
+		// that overloads the server sheds and stalls the run — that
+		// regime belongs to the backpressure tests, not the SLO gate.
+		gap = uint64(100 * streams)
+	}
 	workload := serve.GenWorkload(seed, streams, obs)
 	c, err := serve.NewCluster(serve.HarnessConfig{
 		Dir: dir,
@@ -182,7 +193,8 @@ func loadRun(seed int64, streams, obs, depth, snapshot int, drop, dup float64, j
 			Predictor:     core.Config{Depth: depth, FilterMax: 1},
 			SnapshotEvery: snapshot,
 		},
-		Plan: faults.Plan{Seed: uint64(seed) + 1, DropProb: drop, DupProb: dup, JitterNs: jitter},
+		Plan:  faults.Plan{Seed: uint64(seed) + 1, DropProb: drop, DupProb: dup, JitterNs: jitter},
+		GapNs: sim.Time(gap),
 	}, workload)
 	if err != nil {
 		return err

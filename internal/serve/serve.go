@@ -50,6 +50,7 @@
 //	  noPrediction Grant=InvalROReq  Addr = block (predictor has no entry)
 //	  queryHit     Grant=GetROReq    Type/Requestor = predicted tuple, Addr = block
 //	  queryMiss    Grant=GetRWReq    Addr = block
+//	  queryTimeout Grant=UpgradeReq  Addr = block (query waited past DeadlineNs)
 //
 // Per-stream exactly-once semantics ride on the transport's FIFO
 // guarantee plus durable cursors: the server applies observations in
@@ -78,6 +79,7 @@ const (
 	grantNoPrediction = coherence.InvalROReq
 	grantQueryHit     = coherence.GetROReq
 	grantQueryMiss    = coherence.GetRWReq
+	grantQueryTimeout = coherence.UpgradeReq
 )
 
 // fillerType keeps control messages valid on a network that rejects
@@ -121,6 +123,14 @@ func responseMsg(src, dst coherence.NodeID, addr coherence.Addr, r Response) coh
 		Addr: addr, Grant: grantPrediction}
 }
 
+// queryTimeoutMsg tells a client its query waited past DeadlineNs and
+// was never served — a definitive "asked and not answered", as opposed
+// to the silence of a lost frame.
+func queryTimeoutMsg(src, dst coherence.NodeID, addr coherence.Addr) coherence.Msg {
+	return coherence.Msg{Src: src, Dst: dst, Type: fillerType,
+		Addr: addr, Grant: grantQueryTimeout}
+}
+
 // queryRespMsg encodes the answer to a query.
 func queryRespMsg(src, dst coherence.NodeID, addr coherence.Addr, r Response) coherence.Msg {
 	if !r.OK {
@@ -140,6 +150,10 @@ func decodeResponse(m coherence.Msg) (Response, bool) {
 	case grantNoPrediction:
 		return Response{}, false
 	case grantQueryMiss:
+		return Response{}, true
+	case grantQueryTimeout:
+		// Decodes like a miss; callers that care whether the query timed
+		// out (rather than found no entry) dispatch on Grant directly.
 		return Response{}, true
 	default:
 		panic(fmt.Sprintf("serve: not a response: %v grant=%v", m, m.Grant))
@@ -178,9 +192,16 @@ type Config struct {
 	WatchdogNs sim.Time
 	// Priority ranks streams for shedding: higher values survive
 	// overload longer. nil means all streams rank equal (priority 0).
-	// Must be nil or of length Streams.
+	// Must be nil or of length Streams, with every entry in
+	// [0, maxPriority).
 	Priority []int
 }
+
+// maxPriority is the exclusive upper bound on Config.Priority entries.
+// Shed weights encode observation-vs-query as an offset of this size,
+// so priorities must stay strictly below it (and non-negative) to keep
+// "queries shed before any observation" true at every priority.
+const maxPriority = 1 << 20
 
 // withDefaults returns cfg with zero fields defaulted.
 func (c Config) withDefaults() Config {
@@ -213,6 +234,11 @@ func (c Config) Validate() error {
 	}
 	if c.Priority != nil && len(c.Priority) != c.Streams {
 		return fmt.Errorf("serve: Priority has %d entries for %d streams", len(c.Priority), c.Streams)
+	}
+	for i, p := range c.Priority {
+		if p < 0 || p >= maxPriority {
+			return fmt.Errorf("serve: Priority[%d] = %d outside [0, %d)", i, p, maxPriority)
+		}
 	}
 	return nil
 }

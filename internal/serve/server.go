@@ -25,8 +25,10 @@ type Stats struct {
 	ShedQueries uint64
 	// TimedOut counts entries that waited past DeadlineNs per stream.
 	TimedOut []uint64
-	// Dropped counts observations discarded because their stream was
-	// already lagging (a prior shed broke its contiguity) per stream.
+	// Dropped counts observations discarded because they arrived after
+	// a shed or timeout broke their stream's contiguity, per stream —
+	// rejected at enqueue while the stream lags, or dropped at the
+	// queue head if they were already queued when the break landed.
 	Dropped []uint64
 	// MaxQueueDepth is the high-water mark of the ingest queue; it can
 	// never exceed Config.MaxQueue.
@@ -53,10 +55,22 @@ type stream struct {
 	acked   uint64
 	resp    []Response // responses for sequences [acked, applied)
 	// lagging marks a stream whose observation contiguity was broken by
-	// a shed or timeout: further observations are dropped (not applied
-	// out of order) until the client resyncs.
+	// a shed or timeout; breakIdx is the arrival index of the first lost
+	// observation. Observations that arrived before the hole are still
+	// contiguous and apply normally; anything that arrived after it is
+	// dropped (never applied over the hole) until the client resyncs.
 	lagging  bool
+	breakIdx uint64
 	priority int
+}
+
+// breakContiguity marks a stream lagging at the lost observation's
+// arrival index, keeping the earliest hole across repeated breaks.
+func breakContiguity(st *stream, idx uint64) {
+	if !st.lagging || idx < st.breakIdx {
+		st.breakIdx = idx
+	}
+	st.lagging = true
 }
 
 // Server is the crash-recoverable prediction service. Create one with
@@ -334,11 +348,13 @@ func (s *Server) ack(id int, n uint64) {
 }
 
 // weight ranks queue entries for shedding: observations above queries,
-// then stream priority. Lowest weight sheds first.
+// then stream priority. Lowest weight sheds first. Validate bounds
+// priorities to [0, maxPriority), so the offset keeps every
+// observation above every query.
 func (s *Server) weight(e entry) int {
 	w := s.streams[e.stream].priority
 	if !e.query {
-		w += 1 << 20
+		w += maxPriority
 	}
 	return w
 }
@@ -380,14 +396,15 @@ func (s *Server) enqueue(e entry) {
 }
 
 // shed records the loss of an entry. A shed observation breaks its
-// stream's contiguity, so the stream goes lagging until resync.
+// stream's contiguity at its arrival index, so the stream goes lagging
+// until resync; observations queued before the victim still apply.
 func (s *Server) shed(e entry) {
 	s.stats.Shed[e.stream]++
 	if e.query {
 		s.stats.ShedQueries++
 		return
 	}
-	s.streams[e.stream].lagging = true
+	breakContiguity(s.streams[e.stream], e.idx)
 }
 
 // kick starts the worker if there is work and it is idle.
@@ -409,14 +426,25 @@ func (s *Server) process() {
 	s.queue = s.queue[1:]
 	if s.cfg.DeadlineNs > 0 && s.eng.Now()-e.at > s.cfg.DeadlineNs {
 		s.stats.TimedOut[e.stream]++
-		if !e.query {
-			s.streams[e.stream].lagging = true
+		if e.query {
+			// Answer with a distinct timeout frame rather than silence,
+			// so the client can tell a timed-out query from a lost one.
+			s.tr.Send(queryTimeoutMsg(s.cfg.Node, coherence.NodeID(e.stream), e.addr))
+		} else {
+			breakContiguity(s.streams[e.stream], e.idx)
 		}
 	} else if e.query {
 		st := s.streams[e.stream]
 		pred, ok := st.pred.Predict(e.addr)
 		s.stats.Queries++
 		s.tr.Send(queryRespMsg(s.cfg.Node, coherence.NodeID(e.stream), e.addr, Response{Pred: pred, OK: ok}))
+	} else if st := s.streams[e.stream]; st.lagging && e.idx > st.breakIdx {
+		// Queued behind the hole a shed or timeout left: the entry itself
+		// may still be fresh, but applying observation n+1 after
+		// observation n was lost would advance the cursor over the hole.
+		// (Entries that arrived before the hole apply normally — the
+		// prefix up to the break stays contiguous.)
+		s.stats.Dropped[e.stream]++
 	} else {
 		st := s.streams[e.stream]
 		// Write-ahead, then apply, then respond — all within this event,

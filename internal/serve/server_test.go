@@ -282,6 +282,125 @@ func TestDeadlineTimesOutStaleWork(t *testing.T) {
 	}
 }
 
+// TestTimeoutDropsQueuedObservations: a queue-head timeout breaks its
+// stream's contiguity, and same-stream observations that were already
+// queued behind it — which arrived later and may reach the head still
+// fresh — must be dropped, not applied: applying observation n+1 after
+// observation n was lost would advance the cursor over a hole, and
+// after a resync the client would resend from the wrong index.
+func TestTimeoutDropsQueuedObservations(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, MaxQueue: 16,
+		ProcessNs: 5_000, DeadlineNs: 12_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	// A burst of four: entries 0 and 1 are served within the deadline,
+	// entry 2 times out at the head (waited ~15000 > 12000) and sets
+	// lagging, entry 3 expires behind it.
+	for i := 0; i < 4; i++ {
+		sendObs(eng, tr, sim.Time(100+sim.Time(i)), 0, srv.cfg.Node, coherence.Addr(64*i))
+	}
+	// Entry 4 arrives late enough to still be fresh (~6000ns old) when
+	// it reaches the head at t≈25000: without the lagging check it would
+	// be applied over the hole entry 2 left.
+	sendObs(eng, tr, 19_000, 0, srv.cfg.Node, coherence.Addr(256))
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if !srv.Lagging(0) {
+		t.Fatal("timed-out stream did not go lagging")
+	}
+	if st.Dropped[0] == 0 {
+		t.Fatalf("fresh observation behind the timeout hole was not dropped: %+v", st)
+	}
+	if st.Applied+st.TimedOut[0]+st.Dropped[0] != 5 {
+		t.Fatalf("entries unaccounted for: %+v", st)
+	}
+	// The cursor froze at the hole: only the pre-timeout prefix applied.
+	if srv.Cursor(0) != 2 {
+		t.Fatalf("cursor = %d after the contiguity break, want 2", srv.Cursor(0))
+	}
+}
+
+// TestShedKeepsPreBreakObservations: a shed victim is always the
+// stream's newest queued entry, so observations queued before it are
+// still contiguous — they must apply after the break; only arrivals
+// after the hole drop.
+func TestShedKeepsPreBreakObservations(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, MaxQueue: 2, ProcessNs: 10_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	sendObs(eng, tr, 100, 0, srv.cfg.Node, 0)      // applies from the head
+	sendObs(eng, tr, 200, 0, srv.cfg.Node, 64)     // queued before the break
+	sendObs(eng, tr, 300, 0, srv.cfg.Node, 128)    // overflows: shed, the hole
+	sendObs(eng, tr, 25_000, 0, srv.cfg.Node, 192) // post-break arrival: dropped
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if !srv.Lagging(0) {
+		t.Fatal("shed stream did not go lagging")
+	}
+	if srv.Cursor(0) != 2 {
+		t.Fatalf("cursor = %d, want 2: the observation queued before the break must still apply",
+			srv.Cursor(0))
+	}
+	if st.Shed[0] != 1 || st.Dropped[0] != 1 {
+		t.Fatalf("shed=%d dropped=%d, want 1 shed (the hole) and 1 drop (the post-break arrival)",
+			st.Shed[0], st.Dropped[0])
+	}
+}
+
+// TestTimedOutQueryAnswersWithTimeoutFrame: a query that waits past
+// its deadline is answered with the dedicated timeout frame, not
+// silence — a client must be able to tell a timed-out query from a
+// lost one.
+func TestTimedOutQueryAnswersWithTimeoutFrame(t *testing.T) {
+	cfg := Config{Predictor: testPredictor, MaxQueue: 16,
+		ProcessNs: 5_000, DeadlineNs: 6_000}
+	eng, tr, srv := rawHarness(t, cfg, 1)
+	var grants []coherence.MsgType
+	tr.Bind(0, func(m coherence.Msg) { grants = append(grants, m.Grant) })
+	// Three observations ahead of the query: by the time the query
+	// reaches the head it has waited ~20000ns, far past the deadline.
+	for i := 0; i < 3; i++ {
+		sendObs(eng, tr, sim.Time(100+sim.Time(i)), 0, srv.cfg.Node, coherence.Addr(64*i))
+	}
+	eng.At(110, func() { tr.Send(queryMsg(0, srv.cfg.Node, 0)) })
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var timeouts int
+	for _, g := range grants {
+		if g == grantQueryTimeout {
+			timeouts++
+		}
+	}
+	if timeouts != 1 {
+		t.Fatalf("saw %d queryTimeout frames in %v, want exactly 1", timeouts, grants)
+	}
+	if r, isQuery := decodeResponse(queryTimeoutMsg(srv.cfg.Node, 0, 0)); !isQuery || r.OK {
+		t.Fatalf("queryTimeout decodes as (%+v, %v), want a prediction-free query response", r, isQuery)
+	}
+}
+
+// TestConfigRejectsOutOfRangePriority: priorities outside
+// [0, maxPriority) would let a query outrank an observation in the
+// shed ordering, so Validate must refuse them.
+func TestConfigRejectsOutOfRangePriority(t *testing.T) {
+	base := Config{Streams: 2, Node: 2, Predictor: testPredictor}
+	for _, bad := range [][]int{{0, -1}, {maxPriority, 0}, {0, maxPriority + 7}} {
+		cfg := base
+		cfg.Priority = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted Priority %v", bad)
+		}
+	}
+	ok := base
+	ok.Priority = []int{0, maxPriority - 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected in-range priorities: %v", err)
+	}
+}
+
 // TestWatchdogReportsStall: a wedged worker fails the server with the
 // diagnose dump instead of hanging.
 func TestWatchdogReportsStall(t *testing.T) {

@@ -24,9 +24,10 @@ import (
 //	CURRENT              "<sha256>\n", atomically replaced
 //
 // Checkpoint ordering — snapshot, then its (empty) WAL generation,
-// then CURRENT — means CURRENT never names a pair that is not fully on
-// disk. Obsolete generations are garbage-collected only after CURRENT
-// durably moves on.
+// then CURRENT, with the directory fsynced after every install so the
+// renames and creations themselves survive a power cut — means CURRENT
+// never names a pair that is not fully on disk. Obsolete generations
+// are garbage-collected only after CURRENT durably moves on.
 type Store struct {
 	dir string
 }
@@ -52,8 +53,26 @@ func (s *Store) walPath(d [32]byte) string {
 
 func (s *Store) currentPath() string { return filepath.Join(s.dir, "CURRENT") }
 
-// writeFileAtomic installs data at path via temp + fsync + rename (the
-// tracecache idiom): the file is durable before it is visible.
+// syncDir fsyncs the store directory, making renames and file
+// creations in it durable. Without it a power cut can undo a rename
+// the process already observed — leaving CURRENT naming a generation
+// whose files were gc'd, or a wal whose directory entry never stuck.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("serve: store: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("serve: store: fsync dir %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// writeFileAtomic installs data at path via temp + fsync + rename +
+// directory fsync (the tracecache idiom, plus the dir sync): the file
+// is durable before it is visible, and the rename itself is durable
+// before writeFileAtomic returns.
 func (s *Store) writeFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -74,7 +93,7 @@ func (s *Store) writeFileAtomic(path string, data []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("serve: store: install %s: %w", path, err)
 	}
-	return nil
+	return s.syncDir()
 }
 
 // Checkpoint makes st the store's durable state: it writes the CPSS
@@ -97,10 +116,19 @@ func (s *Store) Checkpoint(st State) ([32]byte, *WAL, error) {
 	if err != nil {
 		return d, nil, err
 	}
+	// The wal file is fsynced by CreateWAL, but its directory entry is
+	// not durable until the directory is — and CURRENT must never point
+	// at a generation whose wal could vanish in a power cut.
+	if err := s.syncDir(); err != nil {
+		w.Close()
+		return d, nil, err
+	}
 	if err := s.writeFileAtomic(s.currentPath(), []byte(hex.EncodeToString(d[:])+"\n")); err != nil {
 		w.Close()
 		return d, nil, err
 	}
+	// writeFileAtomic fsynced the directory after the CURRENT rename,
+	// so the repoint is durable before any old generation is unlinked.
 	s.gc(d)
 	return d, w, nil
 }
