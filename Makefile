@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate warm-cache chaos chaos-spec serve-chaos examples clean
+.PHONY: check ci lint vet cosmosvet build test race bench bench-json bench-smoke bench-gate bench-trend warm-cache chaos chaos-spec serve-chaos scale-smoke examples clean
 
 check: lint build race
 
-ci: lint build test race chaos chaos-spec serve-chaos
+ci: lint build test race chaos chaos-spec serve-chaos scale-smoke
 
 lint: vet cosmosvet
 
@@ -61,14 +61,31 @@ BENCH_GATE_THRESHOLD ?= 300
 bench-gate:
 	rm -f /tmp/bench-gate.json
 	COSMOS_BENCH_SCALE=small $(GO) run ./cmd/cosmos-bench -label gate -trace-cache $(TRACE_CACHE) \
-		-bench 'Table5|Table6|EvaluateThroughput|ServeSLO' -o /tmp/bench-gate.json
+		-bench 'Table5|Table6|EvaluateThroughput|ServeSLO|ScaleSweep' -o /tmp/bench-gate.json
 	$(GO) run ./cmd/cosmos-bench -compare -threshold $(BENCH_GATE_THRESHOLD) BENCH_SMOKE_BASELINE.json /tmp/bench-gate.json
+
+# The performance ledger: snapshot-over-snapshot ns/op history for
+# every benchmark label in every committed snapshot file. Fails on a
+# malformed snapshot (missing label/date, empty or duplicated
+# benchmark lists), so a broken append is caught before it poisons the
+# record.
+bench-trend:
+	@for f in BENCH_*.json; do $(GO) run ./cmd/cosmos-bench -trend $$f || exit 1; done
 
 # A short chaos sweep with the runtime invariant monitor on: 25 seeds
 # of random fault plans and delivery perturbation over the unmodified
-# protocol must find nothing.
+# protocol must find nothing — at a small machine (16 nodes, where
+# every node races on every line) and at the paper's 64-node size.
 chaos:
-	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick
+	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick -nodes 16
+	$(GO) run ./cmd/cosmos-chaos -seeds 25 -quick -nodes 64
+
+# One scalesweep cell past the full-map directory's 64-node cliff,
+# with the runtime invariant monitor on: every benchmark simulated at
+# 256 nodes under the limited-pointer format must stay coherent where
+# the exact bitmask cannot go.
+scale-smoke:
+	$(GO) run ./cmd/cosmos-tables -extra scalesweep -scale small -nodes 256 -dir-format limited -invariants
 
 # The speculation sweep: same fault plans with every Table 2 action
 # armed behind the governor — rollback bookkeeping must stay invariant-

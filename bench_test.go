@@ -8,6 +8,7 @@
 package cosmos_test
 
 import (
+	"fmt"
 	"os"
 	"sort"
 	"sync"
@@ -477,4 +478,35 @@ func BenchmarkEvaluateThroughputSharded(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tr.Records)), "records")
+}
+
+// BenchmarkScaleSweep measures one streamed scalesweep cell (capture
+// plus windowed evaluation, never materializing the trace) as the
+// machine grows past the full-map directory's 64-node bound. The node
+// axis is the variable under test, so the workload defaults to small
+// scale — the 1024-node cell stays affordable while still exercising
+// limited-pointer overflow. B/op is the headline: the streaming path's
+// allocations must stay flat as nodes grow.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, nodes := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("nodes%d", nodes), func(b *testing.B) {
+			cfg := experiments.DefaultConfig()
+			cfg.Scale = benchScale(b, workload.ScaleSmall)
+			cfg.TraceCache = os.Getenv("COSMOS_TRACE_CACHE")
+			cfg.Machine.Nodes = nodes
+			cfg.Stache.DirFormat = stache.DirLimitedPtr
+			s := experiments.NewSuite(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *stats.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = s.EvaluateStreamed("dsmc", core.Config{Depth: 1}, stats.StreamOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Overall.Total), "messages")
+		})
+	}
 }

@@ -125,6 +125,12 @@ func run(w io.Writer, args []string) error {
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be positive")
 	}
+	// Stderr, not w: rendered output stays byte-identical across
+	// -workers values; the effective width is operator feedback only.
+	if eff := parallel.Effective(*workers); eff != *workers {
+		fmt.Fprintf(os.Stderr, "cosmos-accelerate: workers: requested %d, effective %d (pool self-caps at GOMAXPROCS)\n",
+			*workers, eff)
+	}
 	mcfg := sim.DefaultConfig()
 	mcfg.Faults = ff.Plan()
 	mcfg.Invariants = *inv

@@ -9,6 +9,7 @@
 //	cosmos-bench -bench 'Predictor|Engine' -benchtime 200ms ...    # subset, longer time
 //	cosmos-bench -trace-cache .trace-cache ...                     # benchmark against a warm trace cache
 //	cosmos-bench -compare old.json new.json                        # per-benchmark deltas + regression gate
+//	cosmos-bench -trend BENCH_20060102.json                        # snapshot-over-snapshot history per benchmark
 //
 // Each invocation appends one snapshot to the output file (created if
 // absent), preserving earlier snapshots — a before/after pair in one
@@ -80,9 +81,13 @@ func run() error {
 		tcache    = flag.String("trace-cache", "", "trace cache directory passed to the benchmark harness (COSMOS_TRACE_CACHE)")
 		doCompare = flag.Bool("compare", false, "compare the latest snapshots of two JSON files: cosmos-bench -compare old.json new.json")
 		threshold = flag.Float64("threshold", 10, "with -compare: max allowed ns/op regression in percent before exiting nonzero")
+		trend     = flag.String("trend", "", "print the snapshot-over-snapshot delta history of one JSON file and exit")
 	)
 	flag.Parse()
 
+	if *trend != "" {
+		return trendFile(os.Stdout, *trend)
+	}
 	if *doCompare {
 		if flag.NArg() != 2 {
 			return fmt.Errorf("-compare wants exactly two arguments: old.json new.json")

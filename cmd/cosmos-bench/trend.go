@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// trendFile renders the snapshot-over-snapshot history of one snapshot
+// file: for every benchmark label that ever appears, one line per
+// snapshot that measured it, with the ns/op delta against the previous
+// measurement. Snapshots are validated first — a malformed file is an
+// error, not a silently partial table, because the trend output is the
+// record performance work is judged against.
+func trendFile(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(file.Snapshots) == 0 {
+		return fmt.Errorf("%s: no snapshots", path)
+	}
+	for i, s := range file.Snapshots {
+		if err := validateSnapshot(s); err != nil {
+			return fmt.Errorf("%s: snapshot %d: %w", path, i, err)
+		}
+	}
+
+	// Group by benchmark in order of first appearance, so new
+	// benchmarks land at the bottom and established ones keep their
+	// position across runs.
+	type point struct {
+		snap  Snapshot
+		bench Benchmark
+	}
+	byName := make(map[string][]point)
+	var order []string
+	for _, s := range file.Snapshots {
+		for _, b := range s.Benchmarks {
+			if _, ok := byName[b.Name]; !ok {
+				order = append(order, b.Name)
+			}
+			byName[b.Name] = append(byName[b.Name], point{snap: s, bench: b})
+		}
+	}
+
+	fmt.Fprintf(w, "%s: %d snapshots, %d benchmark labels\n", path, len(file.Snapshots), len(order))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, name := range order {
+		fmt.Fprintf(tw, "%s\t\t\t\t\n", name)
+		prev := 0.0
+		for _, p := range byName[name] {
+			delta := ""
+			if prev != 0 {
+				delta = fmt.Sprintf("%+.1f%%", pctDelta(prev, p.bench.NsPerOp))
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%.0f ns/op\t%s\t%.0f B/op\n",
+				p.snap.Label, p.snap.Date, p.bench.NsPerOp, delta, p.bench.BytesPerOp)
+			prev = p.bench.NsPerOp
+		}
+	}
+	return tw.Flush()
+}
+
+// validateSnapshot rejects the shapes an interrupted or hand-edited
+// append can leave behind: a snapshot with no label, no date, or no
+// benchmarks, or one that lists the same benchmark twice (two runs
+// merged into one entry).
+func validateSnapshot(s Snapshot) error {
+	if s.Label == "" {
+		return fmt.Errorf("missing label")
+	}
+	if s.Date == "" {
+		return fmt.Errorf("%q: missing date", s.Label)
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("%q: no benchmarks", s.Label)
+	}
+	seen := make(map[string]bool, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%q: benchmark with empty name", s.Label)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("%q: duplicate benchmark %s", s.Label, b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}

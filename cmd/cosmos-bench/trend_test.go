@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	writeSnapshotFile(t, path,
+		Snapshot{Label: "base", Date: "2026-01-01", Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 512},
+			{Name: "BenchmarkB", NsPerOp: 400},
+		}},
+		Snapshot{Label: "opt", Date: "2026-01-02", Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 500, BytesPerOp: 256},
+			{Name: "BenchmarkC", NsPerOp: 50},
+		}},
+	)
+	var buf bytes.Buffer
+	if err := trendFile(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every label that ever appeared gets a section; A's second point
+	// carries the delta against its first.
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "-50.0%", "2 snapshots, 3 benchmark labels"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrendRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		snap Snapshot
+	}{
+		{"missing-label", Snapshot{Date: "2026-01-01", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 1}}}},
+		{"missing-date", Snapshot{Label: "x", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 1}}}},
+		{"no-benchmarks", Snapshot{Label: "x", Date: "2026-01-01"}},
+		{"duplicate", Snapshot{Label: "x", Date: "2026-01-01", Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 1}, {Name: "BenchmarkA", NsPerOp: 2}}}},
+		{"empty-name", Snapshot{Label: "x", Date: "2026-01-01", Benchmarks: []Benchmark{{NsPerOp: 1}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			writeSnapshotFile(t, path, c.snap)
+			if err := trendFile(&bytes.Buffer{}, path); err == nil {
+				t.Error("malformed snapshot accepted")
+			}
+		})
+	}
+	t.Run("not-json", func(t *testing.T) {
+		path := filepath.Join(dir, "garbage.json")
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := trendFile(&bytes.Buffer{}, path); err == nil {
+			t.Error("unparseable file accepted")
+		}
+	})
+	t.Run("empty-file", func(t *testing.T) {
+		path := filepath.Join(dir, "empty.json")
+		writeSnapshotFile(t, path)
+		if err := trendFile(&bytes.Buffer{}, path); err == nil {
+			t.Error("snapshot-free file accepted")
+		}
+	})
+}

@@ -9,8 +9,11 @@
 //	cosmos-tables                      # everything, full scale
 //	cosmos-tables -table 5             # one table (3,4,5,6,7,8)
 //	cosmos-tables -figure 6            # one figure (5,6,7,8)
-//	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep
+//	cosmos-tables -extra latency       # latency | adapt | directed | halfmig | filterdepth | variants | replacement | accelerate | pag | states | forwarding | faultsweep | scalesweep
 //	cosmos-tables -scale medium        # small | medium | full
+//	cosmos-tables -nodes 256           # machine size (with -extra scalesweep: comma-separated axis, e.g. -nodes 16,64,256,1024)
+//	cosmos-tables -dir-format limited  # directory sharer-set format: full-map | limited | coarse
+//	cosmos-tables -topology mesh       # interconnect: all-to-all | mesh | torus
 //	cosmos-tables -workers 8           # worker pool size (default: all CPUs; 1 = serial)
 //	cosmos-tables -trace-cache dir     # reuse simulated traces across runs (content-addressed)
 //	cosmos-tables -trace-cache dir -warm-cache   # populate the cache and exit
@@ -28,6 +31,7 @@ import (
 	"io"
 	"os"
 	"slices"
+	"strconv"
 	"strings"
 
 	"github.com/cosmos-coherence/cosmos/internal/core"
@@ -36,6 +40,8 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/parallel"
 	"github.com/cosmos-coherence/cosmos/internal/prof"
 	"github.com/cosmos-coherence/cosmos/internal/report"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/topology"
 )
 
 // extraNames is the single source of truth for the -extra experiments:
@@ -43,6 +49,7 @@ import (
 var extraNames = []string{
 	"latency", "adapt", "directed", "halfmig", "filterdepth", "variants",
 	"replacement", "accelerate", "pag", "states", "forwarding", "faultsweep",
+	"scalesweep",
 }
 
 func main() {
@@ -66,6 +73,9 @@ func run(w io.Writer, args []string) error {
 		workers = fs.Int("workers", parallel.DefaultWorkers(), "worker pool size for independent experiment cells (1 = serial)")
 		tcache  = fs.String("trace-cache", "", "directory for the content-addressed trace cache (reuse simulated traces across runs)")
 		warm    = fs.Bool("warm-cache", false, "simulate and cache every benchmark trace, then exit (requires -trace-cache)")
+		nodes   = fs.String("nodes", "", "machine node count; with -extra scalesweep, a comma-separated sweep axis (e.g. 16,64,256,1024)")
+		dirFmt  = fs.String("dir-format", "", "directory sharer-set format: full-map | limited | coarse (default: full-map)")
+		topo    = fs.String("topology", "", "interconnect topology: all-to-all | mesh | torus (default: ideal all-to-all)")
 	)
 	ff := faults.AddFlags(fs)
 	pf := prof.AddFlags(fs)
@@ -75,6 +85,16 @@ func run(w io.Writer, args []string) error {
 
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be positive")
+	}
+	// The effective width goes to stderr, never into the rendered
+	// tables: stdout is byte-identical across every -workers value (the
+	// regression tests pin that), and this line is exactly the kind of
+	// environment-dependent detail that would break it.
+	if eff := parallel.Effective(*workers); eff != *workers {
+		fmt.Fprintf(os.Stderr, "cosmos-tables: workers: requested %d, effective %d (pool self-caps at GOMAXPROCS)\n",
+			*workers, eff)
+	} else {
+		fmt.Fprintf(os.Stderr, "cosmos-tables: workers: %d\n", eff)
 	}
 	if err := pf.Start(); err != nil {
 		return err
@@ -102,9 +122,53 @@ func run(w io.Writer, args []string) error {
 	if *extra != "" && !slices.Contains(extraNames, *extra) {
 		return fmt.Errorf("unknown extra %q (want one of %s)", *extra, strings.Join(extraNames, " | "))
 	}
+	var sweepNodes []int
+	if *nodes != "" {
+		for _, s := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				return fmt.Errorf("-nodes: %q is not a node count", s)
+			}
+			sweepNodes = append(sweepNodes, n)
+		}
+		if len(sweepNodes) == 1 {
+			cfg.Machine.Nodes = sweepNodes[0]
+		} else if *extra != "scalesweep" {
+			return fmt.Errorf("-nodes with multiple values is the scalesweep axis; use -extra scalesweep")
+		}
+	}
+	var sweepFormats []stache.DirectoryFormat
+	if *dirFmt != "" {
+		f, err := stache.ParseDirFormat(*dirFmt)
+		if err != nil {
+			return err
+		}
+		cfg.Stache.DirFormat = f
+		sweepFormats = []stache.DirectoryFormat{f}
+	}
+	if *topo != "" {
+		if _, err := topology.Parse(*topo); err != nil {
+			return err
+		}
+		cfg.Machine.Topology = *topo
+	}
 	cfg.Scale = sc
 	cfg.TraceCache = *tcache
 	suite := experiments.NewSuite(cfg)
+
+	// The scalesweep re-simulates the whole benchmark suite at every
+	// (node count, directory format) point — roughly ten machine shapes
+	// with the default axis — so it runs only on explicit request, never
+	// as part of the render-everything default.
+	if *extra == "scalesweep" {
+		rows, err := experiments.ScaleSweep(cfg, sweepNodes, sweepFormats)
+		if err != nil {
+			return err
+		}
+		report.ScaleSweep(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	}
 
 	if *warm {
 		if *tcache == "" {

@@ -14,6 +14,10 @@ var simCorePackages = []string{
 	"internal/machine",
 	"internal/stache",
 	"internal/network",
+	// Routing is pure geometry, but its hop lists decide delivery
+	// times: any nondeterminism here would skew every structured-fabric
+	// trace.
+	"internal/topology",
 	"internal/reliable",
 	"internal/faults",
 	"internal/workload",

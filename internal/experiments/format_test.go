@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/machine"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// formatHashes simulates one workload under a directory format and
+// returns the per-node trace hashes plus the machine's format counters.
+func formatHashes(t *testing.T, cfg Config, app workload.App) ([]uint64, uint64, uint64) {
+	t.Helper()
+	m, err := machine.New(cfg.Machine, cfg.Stache, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(app.Name(), cfg.Machine.Nodes, app.PhasesPerIteration(), 0)
+	m.AddObserver(rec)
+	if err := m.Run(maxSimEvents); err != nil {
+		t.Fatal(err)
+	}
+	overflows, wideInvals := m.FormatStats()
+	return rec.Trace().NodeHashes(), overflows, wideInvals
+}
+
+// TestDirectoryFormatEquivalence pins the core scalable-directory
+// contract: below overflow, the compact formats are *exact*, so
+// full-map, limited-pointer (with enough pointers to never overflow),
+// and coarse-vector (single-node regions at ≤64 nodes) must produce
+// byte-identical protocol traces on every workload.
+func TestDirectoryFormatEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates all five workloads three times")
+	}
+	base := DefaultConfig()
+	base.Scale = workload.ScaleSmall
+	base.Machine.Invariants = true
+
+	formats := []struct {
+		name string
+		opts func(o *stache.Options)
+	}{
+		// 16 pointers cover every possible sharer at 16 nodes: Dir-16-B
+		// can never overflow, so it must match full-map exactly.
+		{"limited", func(o *stache.Options) { o.DirFormat = stache.DirLimitedPtr; o.DirPointers = 16 }},
+		// ceil(16/64) = 1 node per region: the coarse vector is exact.
+		{"coarse", func(o *stache.Options) { o.DirFormat = stache.DirCoarseVector }},
+	}
+	for _, name := range NewSuite(base).Apps() {
+		app, err := workload.ByName(name, base.Machine.Nodes, base.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, overflows, wideInvals := formatHashes(t, base, app)
+		if overflows != 0 || wideInvals != 0 {
+			t.Fatalf("%s: full-map reported format events (overflows=%d wideInvals=%d)", name, overflows, wideInvals)
+		}
+		for _, f := range formats {
+			cfg := base
+			f.opts(&cfg.Stache)
+			got, overflows, wideInvals := formatHashes(t, cfg, app)
+			if overflows != 0 {
+				t.Errorf("%s/%s: overflowed %d times below capacity", name, f.name, overflows)
+			}
+			if wideInvals != 0 {
+				t.Errorf("%s/%s: sent %d conservative invalidations while exact", name, f.name, wideInvals)
+			}
+			for node := range want {
+				if got[node] != want[node] {
+					t.Errorf("%s/%s: node %d trace diverged from full-map: %#x vs %#x",
+						name, f.name, node, got[node], want[node])
+					break
+				}
+			}
+		}
+	}
+}
+
+// wideApp is a 2-phase workload engineered for maximal sharing: every
+// processor reads block 0, then processor 1 (remote from block 0's
+// home) writes it, forcing a full-set invalidation each iteration.
+type wideApp struct{ procs int }
+
+func (a wideApp) Name() string            { return "wide" }
+func (a wideApp) Procs() int              { return a.procs }
+func (a wideApp) Iterations() int         { return 6 }
+func (a wideApp) PhasesPerIteration() int { return 2 }
+
+func (a wideApp) Accesses(p, iter int) []workload.Access {
+	if iter%2 == 0 {
+		return []workload.Access{{Addr: 0, Write: false}}
+	}
+	if p == 1 {
+		return []workload.Access{{Addr: 0, Write: true}}
+	}
+	return nil
+}
+
+// TestDirectoryFormatOverflow counter-asserts the inexact paths at a
+// node count full-map cannot reach: a 256-node all-readers workload
+// must overflow a Dir-8-B entry into broadcast mode, and must drive a
+// coarse-vector (4-node regions) write fan-out through conservative
+// invalidations — all under the invariant monitor, which tolerates the
+// phantom sharers only because the entries are marked inexact.
+func TestDirectoryFormatOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 256-node workload twice")
+	}
+	base := DefaultConfig()
+	base.Scale = workload.ScaleSmall
+	base.Machine.Nodes = 256
+	base.Machine.Invariants = true
+	app := wideApp{procs: 256}
+
+	t.Run("limited-overflows", func(t *testing.T) {
+		cfg := base
+		cfg.Stache.DirFormat = stache.DirLimitedPtr
+		cfg.Stache.DirPointers = 8
+		_, overflows, wideInvals := formatHashes(t, cfg, app)
+		if overflows == 0 {
+			t.Error("255 sharers never overflowed a Dir-8-B entry")
+		}
+		if wideInvals == 0 {
+			t.Error("broadcast-mode write fan-out reported no conservative invalidations")
+		}
+	})
+	t.Run("coarse-inexact", func(t *testing.T) {
+		cfg := base
+		cfg.Stache.DirFormat = stache.DirCoarseVector
+		_, overflows, wideInvals := formatHashes(t, cfg, app)
+		if overflows != 0 {
+			t.Errorf("coarse vector reported %d pointer overflows", overflows)
+		}
+		if wideInvals == 0 {
+			t.Error("4-node-region fan-out reported no conservative invalidations")
+		}
+	})
+	t.Run("full-map-rejected", func(t *testing.T) {
+		cfg := base
+		if _, err := machine.New(cfg.Machine, cfg.Stache, app); err == nil {
+			t.Error("machine.New accepted 256 nodes with a full-map directory")
+		}
+	})
+}
+
+// TestTopologyDeterminism pins routing byte-identity: two runs on a
+// structured fabric (contended links, dimension-order routing) must
+// produce identical per-node traces, and the fabric must actually be
+// in play — a mesh trace is allowed to differ from the all-to-all
+// trace because contention reorders racing requests.
+func TestTopologyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates workloads repeatedly")
+	}
+	for _, topo := range []string{"mesh", "torus"} {
+		cfg := DefaultConfig()
+		cfg.Scale = workload.ScaleSmall
+		cfg.Machine.Topology = topo
+		cfg.Machine.Invariants = true
+		for _, app := range []string{"dsmc", "unstructured"} {
+			first := runHashes(t, cfg, app)
+			second := runHashes(t, cfg, app)
+			for node := range first {
+				if first[node] != second[node] {
+					t.Errorf("%s/%s: node %d trace diverged between identical runs: %#x vs %#x",
+						topo, app, node, first[node], second[node])
+				}
+			}
+		}
+	}
+}

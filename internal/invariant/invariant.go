@@ -700,7 +700,9 @@ func (m *Monitor) checkEntryWellFormed(addr coherence.Addr, e stache.EntryInfo) 
 // checkAgreement enforces directory/cache agreement for a quiet block:
 // every cached copy is recorded by the home directory, and — except
 // under bounded caches, whose silent read-only evictions leave stale
-// sharer bits — everything the directory records is actually cached.
+// sharer bits, or on an inexact (overflowed limited-pointer or coarse-
+// vector) entry, which over-approximates by design — everything the
+// directory records is actually cached.
 func (m *Monitor) checkAgreement(v View, addr coherence.Addr, e stache.EntryInfo, tracked bool) {
 	recorded := make(map[coherence.NodeID]bool)
 	if tracked {
@@ -719,7 +721,7 @@ func (m *Monitor) checkAgreement(v View, addr coherence.Addr, e stache.EntryInfo
 		node := coherence.NodeID(n)
 		state := v.CacheState(node, addr)
 		if state == stache.CacheInvalid {
-			if node != home && recorded[node] && !m.bounded {
+			if node != home && recorded[node] && !m.bounded && !e.Inexact {
 				if tracked && e.State == stache.EntryExclusive {
 					m.violate(RuleAgreement, addr,
 						"directory records owner %v but %v holds no copy", node, node)

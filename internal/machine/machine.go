@@ -95,8 +95,16 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 		return nil, fmt.Errorf("machine: app %q built for %d procs, machine has %d nodes",
 			app.Name(), app.Procs(), cfg.Nodes)
 	}
-	if cfg.Nodes > 64 {
-		return nil, fmt.Errorf("machine: %d nodes exceeds the 64-node full-map limit", cfg.Nodes)
+	if opts.DirFormat == stache.DirFullMap && cfg.Nodes > 64 {
+		return nil, fmt.Errorf("machine: %d nodes exceeds the 64-node full-map limit (use a limited-pointer or coarse-vector DirFormat)", cfg.Nodes)
+	}
+	if cfg.Nodes > stache.MaxNodes {
+		return nil, fmt.Errorf("machine: %d nodes exceeds the %d-node trace-codec limit", cfg.Nodes, stache.MaxNodes)
+	}
+	if opts.Speculation && opts.DirFormat != stache.DirFullMap {
+		// Push reconciliation removes individual sharer bits, which
+		// inexact sharer sets cannot represent.
+		return nil, fmt.Errorf("machine: Speculation requires the full-map directory format")
 	}
 	if opts.Forwarding && opts.CacheBlocks > 0 {
 		// A forwarding owner must still hold the data when the request
@@ -240,6 +248,18 @@ func (m *Machine) Cache(n coherence.NodeID) *stache.Cache { return m.caches[n] }
 
 // Directory returns node n's directory controller (for tests).
 func (m *Machine) Directory(n coherence.NodeID) *stache.Directory { return m.dirs[n] }
+
+// FormatStats sums the scalable-directory-format counters across every
+// node's directory: limited-pointer overflow events and invalidations
+// fanned out on the strength of an inexact sharer set.
+func (m *Machine) FormatStats() (overflows, wideInvals uint64) {
+	for _, d := range m.dirs {
+		o, w := d.FormatStats()
+		overflows += o
+		wideInvals += w
+	}
+	return overflows, wideInvals
+}
 
 // Accesses returns the total number of memory references performed.
 func (m *Machine) Accesses() uint64 { return m.accesses }

@@ -25,6 +25,7 @@ import (
 	"github.com/cosmos-coherence/cosmos/internal/coherence"
 	"github.com/cosmos-coherence/cosmos/internal/faults"
 	"github.com/cosmos-coherence/cosmos/internal/sim"
+	"github.com/cosmos-coherence/cosmos/internal/topology"
 )
 
 // Handler receives a delivered message at its destination node.
@@ -103,11 +104,28 @@ type Network struct {
 	localLat sim.Time // latency for node-local delivery
 	handlers []PacketHandler
 	injector *faults.Injector // nil = perfectly reliable wire
+	// topo is the structured fabric (mesh/torus); the zero value is
+	// the ideal all-to-all wire. Structured remote messages are routed
+	// hop by hop with per-link occupancy instead of uniform latency.
+	topo topology.Grid
+	// linkFree holds, per directed grid link, the time the link next
+	// becomes idle: messages sharing a link serialize (contention).
+	// O(nodes) entries, allocated only for structured fabrics.
+	linkFree []sim.Time
+	// routeBuf is the reusable hop buffer for routeDelivery, grown
+	// once to the grid diameter.
+	routeBuf []topology.LinkID
+	hopLat   sim.Time // per-link wire latency on a structured fabric
+	niLat    sim.Time // NI injection/extraction cost on a structured fabric
 	// lastDelivery tracks, per (src,dst) link, the timestamp of the
 	// most recently scheduled delivery, enforcing FIFO per link on the
-	// fault-free path. With an injector attached, jitter may legally
-	// reorder a link, so the clamp is not applied.
+	// fault-free all-to-all path. With an injector attached, jitter may
+	// legally reorder a link, so the clamp is not applied. Dense
+	// nodes*nodes storage pays off only on small machines; large ones
+	// use the sparse linkClamp map instead (same clamp values, so
+	// results are identical — only the memory shape changes).
 	lastDelivery []sim.Time
+	linkClamp    map[uint32]sim.Time
 	nodes        int
 	seq          uint64
 	stats        Stats
@@ -133,16 +151,38 @@ func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := topology.Parse(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
 	n := cfg.Nodes
-	return &Network{
-		engine:       engine,
-		latency:      cfg.MessageLatencyNs(),
-		localLat:     cfg.BusTransferNs(cfg.CacheBlockBytes),
-		handlers:     make([]PacketHandler, n),
-		injector:     inj,
-		lastDelivery: make([]sim.Time, n*n),
-		nodes:        n,
-	}, nil
+	grid, err := topology.New(kind, n)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		engine:   engine,
+		latency:  cfg.MessageLatencyNs(),
+		localLat: cfg.BusTransferNs(cfg.CacheBlockBytes),
+		handlers: make([]PacketHandler, n),
+		injector: inj,
+		nodes:    n,
+	}
+	if grid.Structured() {
+		nw.topo = grid
+		nw.linkFree = make([]sim.Time, grid.NumLinks())
+		nw.routeBuf = make([]topology.LinkID, 0, grid.W+grid.H)
+		nw.hopLat = cfg.NetworkLatencyNs
+		nw.niLat = cfg.NIAccessNs
+	}
+	if !grid.Structured() && n <= 64 {
+		nw.lastDelivery = make([]sim.Time, n*n)
+	} else {
+		// Sparse clamp state: only links actually used pay memory, so
+		// network footprint stays O(active links), not O(nodes^2).
+		nw.linkClamp = make(map[uint32]sim.Time)
+	}
+	return nw, nil
 }
 
 // Nodes returns the number of attached nodes.
@@ -232,16 +272,43 @@ func (nw *Network) SendPacket(pkt Packet) {
 
 	h := nw.handlers[pkt.Dst]
 
+	// Structured fabrics route remote messages hop by hop; the fault
+	// injector then judges the end-to-end journey exactly as it judges
+	// an all-to-all flight, so fault plans and the reliable transport
+	// compose unchanged.
+	if nw.topo.Structured() && pkt.Src != pkt.Dst {
+		deliverAt := nw.routeDelivery(pkt)
+		if nw.injector != nil {
+			d := nw.injector.Decide(pkt.Src, pkt.Dst, wireSeq, uint64(nw.engine.Now()))
+			if d.Drop {
+				nw.stats.FaultDropped++
+				return
+			}
+			if !pkt.Ctrl {
+				nw.inflight++
+			}
+			nw.engine.At(deliverAt+sim.Time(d.JitterNs), func() { nw.deliver(h, pkt) })
+			if d.Duplicate {
+				nw.stats.FaultDuplicated++
+				if !pkt.Ctrl {
+					nw.inflight++
+				}
+				nw.engine.At(deliverAt+sim.Time(d.DupJitterNs), func() { nw.deliver(h, pkt) })
+			}
+			return
+		}
+		if !pkt.Ctrl {
+			nw.inflight++
+		}
+		nw.engine.At(deliverAt, func() { nw.deliver(h, pkt) })
+		return
+	}
+
 	// Node-local delivery never touches the wire; faults do not apply.
 	if nw.injector == nil || pkt.Src == pkt.Dst {
 		// FIFO per link: never deliver before the previous message on
 		// the same (src,dst) link.
-		link := int(pkt.Src)*nw.nodes + int(pkt.Dst)
-		deliverAt := nw.engine.Now() + lat
-		if deliverAt < nw.lastDelivery[link] {
-			deliverAt = nw.lastDelivery[link]
-		}
-		nw.lastDelivery[link] = deliverAt
+		deliverAt := nw.clampFIFO(pkt.Src, pkt.Dst, nw.engine.Now()+lat)
 		if !pkt.Ctrl {
 			nw.inflight++
 		}
@@ -268,4 +335,46 @@ func (nw *Network) SendPacket(pkt Packet) {
 		}
 		nw.engine.At(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), func() { nw.deliver(h, pkt) })
 	}
+}
+
+// clampFIFO enforces per-(src,dst)-link FIFO on the all-to-all wire
+// (and on node-local delivery in every topology): a delivery is never
+// scheduled before the previous one on the same link. Dense and sparse
+// storage produce identical clamp values; only the memory shape
+// differs.
+func (nw *Network) clampFIFO(src, dst coherence.NodeID, deliverAt sim.Time) sim.Time {
+	if nw.lastDelivery != nil {
+		link := int(src)*nw.nodes + int(dst)
+		if deliverAt < nw.lastDelivery[link] {
+			deliverAt = nw.lastDelivery[link]
+		}
+		nw.lastDelivery[link] = deliverAt
+		return deliverAt
+	}
+	key := uint32(uint16(src))<<16 | uint32(uint16(dst))
+	if last, ok := nw.linkClamp[key]; ok && deliverAt < last {
+		deliverAt = last
+	}
+	nw.linkClamp[key] = deliverAt
+	return deliverAt
+}
+
+// routeDelivery walks pkt's dimension-order route, charging NI costs
+// at both ends, per-hop wire latency, and per-link occupancy: a hop
+// cannot start until its link is free, and crossing it occupies the
+// link until the hop completes. Returns the delivery time. Routing
+// appends into a reusable buffer, so the steady-state path does not
+// allocate.
+func (nw *Network) routeDelivery(pkt Packet) sim.Time {
+	route := nw.topo.Route(pkt.Src, pkt.Dst, nw.routeBuf[:0])
+	nw.routeBuf = route
+	t := nw.engine.Now() + nw.niLat
+	for _, l := range route {
+		if t < nw.linkFree[l] {
+			t = nw.linkFree[l]
+		}
+		t += nw.hopLat
+		nw.linkFree[l] = t
+	}
+	return t + nw.niLat
 }

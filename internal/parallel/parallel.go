@@ -32,6 +32,21 @@ import (
 // CPU. The cmd binaries use it as the -workers flag default.
 func DefaultWorkers() int { return runtime.NumCPU() }
 
+// Effective returns the pool width ForEach and Map will actually use
+// for a requested worker count, before the per-call work-item clamp:
+// at least 1, at most GOMAXPROCS. The cmd binaries print it so a
+// "-workers 32" run on a 4-way host says 4 where it matters — the
+// request is honored on paper but capped in the scheduler.
+func Effective(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		return max
+	}
+	return workers
+}
+
 // Clamp normalizes a worker count: anything below 1 becomes 1 (the
 // serial path), and the pool is never wider than the number of work
 // items it will be given.
@@ -61,9 +76,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	// caches — on a single-CPU host an 8-wide pool was measurably
 	// *slower* than serial before this cap. Determinism is unaffected:
 	// results are index-addressed, so width never changes output.
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
+	workers = Effective(workers)
 	if workers = Clamp(workers, n); workers == 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {

@@ -419,3 +419,27 @@ func Forwarding(w io.Writer, rows []experiments.ForwardingRow) {
 			r.App, proto, r.Cache, r.Dir, r.Overall, r.Messages)
 	}
 }
+
+// ScaleSweep renders the node-count scaling sweep: per benchmark, one
+// line per (nodes, directory format) cell, so the accuracy and traffic
+// curves read down the column as the machine grows.
+func ScaleSweep(w io.Writer, rows []experiments.ScaleSweepRow) {
+	fmt.Fprintln(w, "SCALE SWEEP. Depth-1 accuracy and traffic vs node count per directory format.")
+	fmt.Fprintln(w, "  (full-map stops at 64 nodes; above overflow, limited broadcasts and coarse widens invalidations)")
+	fmt.Fprintf(w, "  %-14s %6s %-9s %9s %12s %12s\n",
+		"app", "nodes", "format", "accuracy", "messages", "invals")
+	byApp := make(map[string][]experiments.ScaleSweepRow)
+	var order []string
+	for _, r := range rows {
+		if _, ok := byApp[r.App]; !ok {
+			order = append(order, r.App)
+		}
+		byApp[r.App] = append(byApp[r.App], r)
+	}
+	for _, app := range order {
+		for _, r := range byApp[app] {
+			fmt.Fprintf(w, "  %-14s %6d %-9s %8.1f%% %12d %12d\n",
+				r.App, r.Nodes, r.Format, r.Overall, r.Messages, r.Invals)
+		}
+	}
+}

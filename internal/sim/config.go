@@ -34,6 +34,13 @@ type Config struct {
 	NetworkLatencyNs Time
 	// NIAccessNs is the network interface access time.
 	NIAccessNs Time
+	// Topology selects the interconnect shape: "" (or "all-to-all")
+	// is the paper's ideal uniform-latency fabric; "mesh" and "torus"
+	// arrange the nodes in a near-square 2-D grid with deterministic
+	// dimension-order routing, per-hop NetworkLatencyNs, and per-link
+	// FIFO contention (messages sharing a directed link serialize).
+	// internal/topology parses the value; network.New applies it.
+	Topology string
 	// ProtocolOccupancyNs approximates the software protocol handler
 	// occupancy per message (Stache runs coherence in software).
 	ProtocolOccupancyNs Time

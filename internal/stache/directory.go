@@ -8,12 +8,13 @@ import (
 )
 
 // dirEntry is the directory state for one memory block homed at this
-// node: the full-map sharer set, the exclusive owner (if any), and —
-// while a transaction is collecting invalidation acknowledgments — the
-// in-flight request plus a FIFO of requests that arrived meanwhile.
+// node: the sharer set (in whatever format Options.DirFormat selects),
+// the exclusive owner (if any), and — while a transaction is collecting
+// invalidation acknowledgments — the in-flight request plus a FIFO of
+// requests that arrived meanwhile.
 type dirEntry struct {
 	state    dirState
-	sharers  nodeSet
+	sharers  sharerSet
 	owner    coherence.NodeID
 	current  pendingReq
 	acksLeft int
@@ -42,6 +43,7 @@ type Directory struct {
 	geom    coherence.Geometry
 	sender  Sender
 	opts    Options
+	scfg    sharerCfg
 	observe func(coherence.Msg)
 	entries map[coherence.Addr]*dirEntry
 
@@ -50,6 +52,11 @@ type Directory struct {
 	invalsSent   uint64
 	localHits    uint64
 	queued       uint64
+	// Scalable-format event counters: limited-pointer entries that
+	// overflowed into broadcast mode, and invalidations issued on the
+	// strength of an inexact (conservative) sharer set.
+	overflows  uint64
+	wideInvals uint64
 
 	oracle       Oracle
 	speculations uint64
@@ -135,8 +142,26 @@ func NewDirectory(node coherence.NodeID, geom coherence.Geometry, sender Sender,
 		geom:    geom,
 		sender:  sender,
 		opts:    opts,
+		scfg:    newSharerCfg(opts, geom.Nodes()),
 		observe: observe,
 		entries: make(map[coherence.Addr]*dirEntry),
+	}
+}
+
+// FormatStats returns the scalable-directory-format event counters:
+// how many limited-pointer entries overflowed into broadcast mode, and
+// how many invalidations were sent during write fan-out while the
+// sharer set was inexact (each such message may target a node that
+// never held a copy — the traffic cost of a compact format).
+func (d *Directory) FormatStats() (overflows, wideInvals uint64) {
+	return d.overflows, d.wideInvals
+}
+
+// addSharer records n in e's sharer set, counting limited-pointer
+// overflow events.
+func (d *Directory) addSharer(e *dirEntry, n coherence.NodeID) {
+	if e.sharers.add(d.scfg, n) {
+		d.overflows++
 	}
 }
 
@@ -171,7 +196,7 @@ func (d *Directory) Sharers(addr coherence.Addr) []coherence.NodeID {
 		return []coherence.NodeID{e.owner}
 	}
 	var out []coherence.NodeID
-	e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) { out = append(out, n) })
+	e.sharers.forEach(d.scfg, func(n coherence.NodeID) { out = append(out, n) })
 	return out
 }
 
@@ -196,7 +221,7 @@ func (d *Directory) EntryState(addr coherence.Addr) string {
 	case dirShared:
 		s := "shared{"
 		first := true
-		e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+		e.sharers.forEach(d.scfg, func(n coherence.NodeID) {
 			if !first {
 				s += ","
 			}
@@ -245,6 +270,11 @@ type EntryInfo struct {
 	Addr    coherence.Addr
 	State   EntryState
 	Sharers []coherence.NodeID // raw sharer bits, ascending node order
+	// Inexact marks a sharer list that may over-approximate the real
+	// set (a broadcast-mode limited-pointer entry, or a coarse vector
+	// with multi-node regions). The invariant monitor tolerates
+	// recorded-but-invalid sharers only on inexact entries.
+	Inexact bool
 	Owner   coherence.NodeID
 	// Requestor is the node whose transaction a busy entry serves.
 	Requestor coherence.NodeID
@@ -321,9 +351,10 @@ func (d *Directory) snapshot(addr coherence.Addr, e *dirEntry) EntryInfo {
 		info.State = EntryBusy
 		info.Requestor = e.current.node
 	}
-	e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+	e.sharers.forEach(d.scfg, func(n coherence.NodeID) {
 		info.Sharers = append(info.Sharers, n)
 	})
+	info.Inexact = e.sharers.inexact(d.scfg)
 	return info
 }
 
@@ -357,7 +388,7 @@ func (d *Directory) CorruptOwner(addr coherence.Addr, n coherence.NodeID) {
 	e := d.entry(d.geom.Block(addr))
 	e.state = dirExclusive
 	e.owner = n
-	e.sharers = 0
+	e.sharers.clear()
 	e.specPushed = 0
 }
 
@@ -369,7 +400,7 @@ func (d *Directory) CorruptAddSharer(addr coherence.Addr, n coherence.NodeID) {
 	if e.state == dirIdle {
 		e.state = dirShared
 	}
-	e.sharers.add(n)
+	e.sharers.add(d.scfg, n)
 }
 
 // BusyEntry describes one directory entry stuck mid-transaction, for
@@ -413,7 +444,7 @@ func (d *Directory) homeState(addr coherence.Addr) CacheState {
 	switch {
 	case e.state == dirExclusive && e.owner == d.node:
 		return CacheReadWrite
-	case e.state == dirShared && e.sharers.has(d.node):
+	case e.state == dirShared && e.sharers.has(d.scfg, d.node):
 		return CacheReadOnly
 	case e.state == dirIdle:
 		// Idle means no *cached* copies; the home node reads memory
@@ -561,14 +592,14 @@ func (d *Directory) trySpeculate(addr coherence.Addr, e *dirEntry) {
 		// before it asks. The pushed node becomes a real sharer (so SWMR
 		// accounting holds) marked specPushed (so an unclaimed copy can
 		// be reconciled away).
-		if !d.actions.Forward || e.sharers.has(p) || e.specPushed.has(p) {
+		if !d.actions.Forward || e.sharers.has(d.scfg, p) || e.specPushed.has(p) {
 			return
 		}
 		if !d.gate.Allow(SpecForward, addr) {
 			return
 		}
 		e.state = dirShared
-		e.sharers.add(p)
+		d.addSharer(e, p)
 		e.specPushed.add(p)
 		if e.expect == p {
 			// The push satisfies the expected read out of band: the
@@ -627,7 +658,7 @@ func (d *Directory) startRead(addr coherence.Addr, e *dirEntry, req pendingReq) 
 			return
 		}
 		e.state = dirShared
-		e.sharers.add(req.node)
+		d.addSharer(e, req.node)
 		d.grant(addr, req, coherence.GetROResp)
 
 	case dirShared:
@@ -639,7 +670,7 @@ func (d *Directory) startRead(addr coherence.Addr, e *dirEntry, req pendingReq) 
 			e.specPushed.remove(req.node)
 			d.gate.Record(SpecForward, addr, true)
 		}
-		e.sharers.add(req.node)
+		d.addSharer(e, req.node)
 		d.grant(addr, req, coherence.GetROResp)
 
 	case dirExclusive:
@@ -652,14 +683,14 @@ func (d *Directory) startRead(addr coherence.Addr, e *dirEntry, req pendingReq) 
 		if e.owner == d.node {
 			// Owner is the home node itself: reclaim without messages.
 			d.demoteLocalOwner(e)
-			if e.sharers.empty() && d.speculateRMW(addr, req) {
+			if e.sharers.empty(d.scfg) && d.speculateRMW(addr, req) {
 				d.speculations++
 				e.state = dirExclusive
 				e.owner = req.node
 				d.grant(addr, req, coherence.GetRWResp)
 				return
 			}
-			e.sharers.add(req.node)
+			d.addSharer(e, req.node)
 			e.state = dirShared
 			d.grant(addr, req, coherence.GetROResp)
 			return
@@ -709,7 +740,7 @@ func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq,
 			// DASH-variant read-only home copy demoteLocalOwner records
 			// must not survive into the exclusive entry, or the stale
 			// sharer bit leaks through later writeback/idle transitions.
-			e.sharers = 0
+			e.sharers.clear()
 			e.state = dirExclusive
 			e.owner = req.node
 			d.grant(addr, req, grantT)
@@ -728,9 +759,13 @@ func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq,
 
 	case dirShared:
 		// Invalidate every remote sharer except the requestor. A home-
-		// node copy is dropped silently (no message to ourselves).
+		// node copy is dropped silently (no message to ourselves). An
+		// inexact sharer set fans out to its conservative superset —
+		// nodes that never held a copy acknowledge from the invalid
+		// state — and the extra traffic is counted as wideInvals.
+		inexact := e.sharers.inexact(d.scfg)
 		var targets []coherence.NodeID
-		e.sharers.forEach(d.geom.Nodes(), func(n coherence.NodeID) {
+		e.sharers.forEach(d.scfg, func(n coherence.NodeID) {
 			if n == req.node || n == d.node {
 				return
 			}
@@ -738,11 +773,14 @@ func (d *Directory) startWrite(addr coherence.Addr, e *dirEntry, req pendingReq,
 		})
 		if len(targets) == 0 {
 			e.state = dirExclusive
-			e.sharers = 0
+			e.sharers.clear()
 			e.specPushed = 0
 			e.owner = req.node
 			d.grant(addr, req, grantT)
 			return
+		}
+		if inexact {
+			d.wideInvals += uint64(len(targets))
 		}
 		// Go busy before sending (reentrant acks).
 		e.current = req
@@ -763,7 +801,12 @@ func (d *Directory) startUpgrade(addr coherence.Addr, e *dirEntry, req pendingRe
 	// upgrade_request, the upgrade must be served as a full write so
 	// the requestor receives data. The requestor accepts
 	// get_rw_response while waiting for an upgrade.
-	if e.state == dirShared && e.sharers.has(req.node) {
+	// An inexact sharer set can answer has() conservatively-true for a
+	// requestor whose copy was really invalidated; granting the upgrade
+	// without data is still coherent here because the simulator models
+	// protocol state, not data payloads, and the grant path invalidates
+	// the remaining sharers exactly as a write would.
+	if e.state == dirShared && e.sharers.has(d.scfg, req.node) {
 		d.startWrite(addr, e, req, coherence.UpgradeResp)
 		return
 	}
@@ -784,10 +827,10 @@ func (d *Directory) startWriteback(addr coherence.Addr, e *dirEntry, req pending
 // messages; the data is already in home memory.
 func (d *Directory) demoteLocalOwner(e *dirEntry) {
 	e.owner = coherence.NoNode
-	e.sharers = 0
+	e.sharers.clear()
 	if !d.opts.HalfMigratory {
 		// DASH-like: the home keeps a read-only copy.
-		e.sharers.add(d.node)
+		d.addSharer(e, d.node)
 	}
 	e.state = dirShared
 }
@@ -798,13 +841,13 @@ func (d *Directory) finish(addr coherence.Addr, e *dirEntry) {
 	e.current = pendingReq{}
 	switch req.kind {
 	case reqRead:
-		e.sharers = 0
+		e.sharers.clear()
 		if !d.opts.HalfMigratory && e.owner != coherence.NoNode {
 			// Downgraded owner keeps a shared copy.
-			e.sharers.add(e.owner)
+			d.addSharer(e, e.owner)
 		}
 		e.owner = coherence.NoNode
-		if !req.forwarded && e.sharers.empty() && d.speculateRMW(addr, req) {
+		if !req.forwarded && e.sharers.empty(d.scfg) && d.speculateRMW(addr, req) {
 			// Half-migratory fetch-back left the requestor sole holder:
 			// the predicted upgrade makes an exclusive grant the better
 			// answer (the migratory-protocol action of Table 2).
@@ -814,12 +857,12 @@ func (d *Directory) finish(addr coherence.Addr, e *dirEntry) {
 			d.grantDeferred(addr, e, req, coherence.GetRWResp)
 			return
 		}
-		e.sharers.add(req.node)
+		d.addSharer(e, req.node)
 		e.state = dirShared
 		d.grantDeferred(addr, e, req, coherence.GetROResp)
 
 	case reqWrite, reqUpgrade:
-		e.sharers = 0
+		e.sharers.clear()
 		e.specPushed = 0
 		e.owner = req.node
 		e.state = dirExclusive
@@ -831,13 +874,13 @@ func (d *Directory) finish(addr coherence.Addr, e *dirEntry) {
 		// grant. Settle the entry, then either score the prediction
 		// against a request that raced in while we were busy, or arm the
 		// expectation the next real message will resolve.
-		e.sharers = 0
+		e.sharers.clear()
 		e.specPushed = 0
 		if !d.opts.HalfMigratory && e.owner != coherence.NoNode {
-			e.sharers.add(e.owner)
+			d.addSharer(e, e.owner)
 		}
 		e.owner = coherence.NoNode
-		if e.sharers.empty() {
+		if e.sharers.empty(d.scfg) {
 			e.state = dirIdle
 		} else {
 			e.state = dirShared
@@ -941,8 +984,8 @@ func (d *Directory) ResolveSpecPush(addr coherence.Addr, n coherence.NodeID, dro
 	if !dropSharer || e.state == dirBusy {
 		return
 	}
-	e.sharers.remove(n)
-	if e.state == dirShared && e.sharers.empty() {
+	e.sharers.remove(d.scfg, n)
+	if e.state == dirShared && e.sharers.empty(d.scfg) {
 		e.state = dirIdle
 	}
 }

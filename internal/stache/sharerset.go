@@ -1,0 +1,289 @@
+package stache
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// DirectoryFormat selects how a directory entry represents its sharer
+// set. Full-map is exact but costs one bit per node per entry, which
+// caps the machine at 64 nodes with a word-sized mask; the two
+// scalable formats trade exactness for O(1) state per entry, repairing
+// the loss with conservative over-invalidation (extra inval_ro_request
+// messages to nodes that turn out not to hold a copy — the cache
+// acknowledges those from the invalid state, so the protocol stays
+// correct, merely chattier).
+type DirectoryFormat uint8
+
+const (
+	// DirFullMap is the paper's configuration: an exact bitmask sharer
+	// set, one bit per node, at most 64 nodes. The zero value, so
+	// existing Options literals keep their meaning.
+	DirFullMap DirectoryFormat = iota
+	// DirLimitedPtr is Dir-i-B: up to Options.DirPointers exact node
+	// pointers per entry; the i+1st distinct sharer overflows the entry
+	// into broadcast mode, where every node is conservatively treated
+	// as a sharer until the next write clears the set.
+	DirLimitedPtr
+	// DirCoarseVector keeps one bit per fixed-size region of
+	// ceil(nodes/64) consecutive nodes. At 64 nodes or fewer each
+	// region is a single node and the format is exact (bit-identical
+	// to full-map); above that a set bit means "some node in this
+	// region may share".
+	DirCoarseVector
+)
+
+func (f DirectoryFormat) String() string {
+	switch f {
+	case DirFullMap:
+		return "full-map"
+	case DirLimitedPtr:
+		return "limited"
+	case DirCoarseVector:
+		return "coarse"
+	}
+	return fmt.Sprintf("DirectoryFormat(%d)", uint8(f))
+}
+
+// ParseDirFormat converts a flag string ("full-map", "limited",
+// "coarse") to a DirectoryFormat.
+func ParseDirFormat(s string) (DirectoryFormat, error) {
+	switch s {
+	case "", "full-map", "fullmap", "full":
+		return DirFullMap, nil
+	case "limited", "limited-pointer", "dir-i-b":
+		return DirLimitedPtr, nil
+	case "coarse", "coarse-vector":
+		return DirCoarseVector, nil
+	}
+	return DirFullMap, fmt.Errorf("stache: unknown directory format %q (want full-map, limited, or coarse)", s)
+}
+
+const (
+	// maxDirPointers bounds the limited-pointer capacity so sharerSet
+	// stays a small value type with no per-entry heap allocation.
+	maxDirPointers = 16
+	// DefaultDirPointers is the Dir-i-B pointer count used when
+	// Options.DirPointers is zero.
+	DefaultDirPointers = 8
+	// MaxNodes is the hard node ceiling for any format: the CTRC trace
+	// codec encodes senders in 12 bits.
+	MaxNodes = 4096
+)
+
+// sharerCfg is the resolved per-directory sharer-set geometry, computed
+// once per Directory and threaded through every sharerSet operation so
+// the set itself stays one word-aligned value.
+type sharerCfg struct {
+	format DirectoryFormat
+	ptrs   int // limited-pointer capacity, 1..maxDirPointers
+	nodes  int
+	region int // coarse-vector nodes per bit; 1 means exact
+}
+
+// newSharerCfg resolves opts against the machine size. Nodes beyond a
+// format's exact reach are what the scalable formats exist for; the
+// caller (machine.New) rejects full-map above 64 nodes before any
+// directory is built.
+func newSharerCfg(opts Options, nodes int) sharerCfg {
+	c := sharerCfg{format: opts.DirFormat, nodes: nodes, region: 1}
+	if c.format == DirLimitedPtr {
+		c.ptrs = opts.DirPointers
+		if c.ptrs <= 0 {
+			c.ptrs = DefaultDirPointers
+		}
+		if c.ptrs > maxDirPointers {
+			c.ptrs = maxDirPointers
+		}
+	}
+	if c.format == DirCoarseVector {
+		c.region = (nodes + 63) / 64
+	}
+	return c
+}
+
+// sharerSet is the per-entry sharer representation shared by all three
+// directory formats. It is a plain value — copying or zeroing it never
+// allocates — and every method is driven by the owning directory's
+// sharerCfg:
+//
+//   - full-map: bits is an exact node mask.
+//   - limited-pointer: ptrs[:n] holds distinct sharer IDs in ascending
+//     order; bcast marks an overflowed entry whose membership is
+//     conservatively "every node".
+//   - coarse-vector: bits holds one bit per region of cfg.region
+//     consecutive nodes (exact when region == 1).
+//
+// Inexact modes only ever over-approximate: has never answers false
+// for a real sharer, and forEach visits a superset of the real
+// sharers, in ascending node order in every format so message order
+// stays deterministic across formats.
+type sharerSet struct {
+	bits  uint64
+	ptrs  [maxDirPointers]uint16
+	n     uint8
+	bcast bool
+}
+
+//cosmosvet:hotpath
+func (s *sharerSet) has(c sharerCfg, node coherence.NodeID) bool {
+	switch c.format {
+	case DirFullMap:
+		return s.bits&(1<<uint(node)) != 0
+	case DirLimitedPtr:
+		if s.bcast {
+			return true
+		}
+		for i := 0; i < int(s.n); i++ {
+			if s.ptrs[i] == uint16(node) {
+				return true
+			}
+		}
+		return false
+	case DirCoarseVector:
+		return s.bits&(1<<uint(int(node)/c.region)) != 0
+	}
+	panic("stache: sharerSet.has: unhandled format")
+}
+
+// add records node as a sharer. It reports whether the insertion
+// overflowed a limited-pointer entry into broadcast mode (so the
+// directory can count overflow events).
+//
+//cosmosvet:hotpath
+func (s *sharerSet) add(c sharerCfg, node coherence.NodeID) bool {
+	switch c.format {
+	case DirFullMap:
+		s.bits |= 1 << uint(node)
+		return false
+	case DirLimitedPtr:
+		if s.bcast {
+			return false
+		}
+		i := 0
+		for ; i < int(s.n); i++ {
+			if s.ptrs[i] == uint16(node) {
+				return false
+			}
+			if s.ptrs[i] > uint16(node) {
+				break
+			}
+		}
+		if int(s.n) >= c.ptrs {
+			// Dir-i-B overflow: forget the pointers, remember everyone.
+			s.bcast = true
+			s.n = 0
+			return true
+		}
+		copy(s.ptrs[i+1:int(s.n)+1], s.ptrs[i:int(s.n)])
+		s.ptrs[i] = uint16(node)
+		s.n++
+		return false
+	case DirCoarseVector:
+		s.bits |= 1 << uint(int(node)/c.region)
+		return false
+	}
+	panic("stache: sharerSet.add: unhandled format")
+}
+
+// remove forgets node where the format permits: exact formats drop it;
+// a broadcast or multi-node-region membership cannot name individual
+// nodes, so the conservative bit survives until the next write rewrites
+// the whole set.
+//
+//cosmosvet:hotpath
+func (s *sharerSet) remove(c sharerCfg, node coherence.NodeID) {
+	switch c.format {
+	case DirFullMap:
+		s.bits &^= 1 << uint(node)
+	case DirLimitedPtr:
+		if s.bcast {
+			return
+		}
+		for i := 0; i < int(s.n); i++ {
+			if s.ptrs[i] == uint16(node) {
+				copy(s.ptrs[i:], s.ptrs[i+1:int(s.n)])
+				s.n--
+				return
+			}
+		}
+	case DirCoarseVector:
+		if c.region == 1 {
+			s.bits &^= 1 << uint(node)
+		}
+	}
+}
+
+//cosmosvet:hotpath
+func (s *sharerSet) empty(c sharerCfg) bool {
+	if c.format == DirLimitedPtr {
+		return !s.bcast && s.n == 0
+	}
+	return s.bits == 0
+}
+
+// clear resets the set to empty in every format (writes rewrite the
+// sharer set wholesale, which is what bounds how long conservative
+// bits survive).
+//
+//cosmosvet:hotpath
+func (s *sharerSet) clear() {
+	s.bits = 0
+	s.n = 0
+	s.bcast = false
+}
+
+// inexact reports whether membership answers may over-approximate the
+// real sharer set: an overflowed limited-pointer entry, or a non-empty
+// coarse vector with multi-node regions. The invariant monitor uses
+// this to know when a recorded-but-invalid sharer is conservative
+// slack rather than a protocol bug.
+//
+//cosmosvet:hotpath
+func (s *sharerSet) inexact(c sharerCfg) bool {
+	switch c.format {
+	case DirFullMap:
+		return false
+	case DirLimitedPtr:
+		return s.bcast
+	case DirCoarseVector:
+		return c.region > 1 && s.bits != 0
+	}
+	panic("stache: sharerSet.inexact: unhandled format")
+}
+
+// forEach visits members in ascending node order in every format —
+// deterministic, and identical across formats whenever the set is
+// exact. Inexact sets visit their conservative superset (all nodes
+// under broadcast; whole regions under a coarse vector).
+//
+//cosmosvet:hotpath
+func (s *sharerSet) forEach(c sharerCfg, f func(coherence.NodeID)) {
+	switch c.format {
+	case DirFullMap:
+		for i := 0; i < c.nodes; i++ {
+			if s.bits&(1<<uint(i)) != 0 {
+				f(coherence.NodeID(i))
+			}
+		}
+	case DirLimitedPtr:
+		if s.bcast {
+			for i := 0; i < c.nodes; i++ {
+				f(coherence.NodeID(i))
+			}
+			return
+		}
+		for i := 0; i < int(s.n); i++ {
+			f(coherence.NodeID(s.ptrs[i]))
+		}
+	case DirCoarseVector:
+		for i := 0; i < c.nodes; i++ {
+			if s.bits&(1<<uint(i/c.region)) != 0 {
+				f(coherence.NodeID(i))
+			}
+		}
+	default:
+		panic("stache: sharerSet.forEach: unhandled format")
+	}
+}

@@ -70,6 +70,18 @@ type Options struct {
 	// build without this machinery; the invariant monitor enforces that
 	// (a spec_push on a non-speculative run is a legality violation).
 	Speculation bool
+	// DirFormat selects the directory sharer-set representation. The
+	// zero value is DirFullMap, the paper's exact-bitmask configuration
+	// (≤ 64 nodes); DirLimitedPtr and DirCoarseVector scale past that
+	// by over-approximating the sharer set on overflow, which is
+	// protocol-safe (extra invalidations are acknowledged from the
+	// invalid state) but inexact below the message level. Speculation
+	// requires DirFullMap: its push/reconcile bookkeeping removes
+	// individual sharer bits, which inexact formats cannot do.
+	DirFormat DirectoryFormat
+	// DirPointers is the pointer count i for DirLimitedPtr (Dir-i-B);
+	// 0 means DefaultDirPointers. Other formats ignore it.
+	DirPointers int
 }
 
 // Oracle is the hook through which a predictor sitting beside a

@@ -132,81 +132,20 @@ type slotAddr struct {
 }
 
 // evaluateSerial is the reference implementation: one pass over the
-// records in arrival order. The loops are the per-record hot path;
-// setup allocations before them are once-per-evaluation.
+// records in arrival order. The per-record body lives in
+// serialEval.observe (stream.go), shared with EvaluateStream so the
+// two arrival-order paths cannot drift apart.
 //
 //cosmosvet:hotpath loops
 func evaluateSerial(tr *trace.Trace, cfg core.Config, opts Options) (*Result, error) {
-	res := &Result{App: tr.App, Config: cfg}
-	if opts.TrackArcs {
-		res.Arcs = make(map[Arc]*Counter)
+	ev, err := newSerialEval(tr.App, tr.Nodes, cfg, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	// One predictor per (node, side), borrowed from the shared pool
-	// (a reset predictor is state-identical to a fresh one).
-	preds := make([]*core.Predictor, 2*tr.Nodes)
-	for i := range preds {
-		p, err := borrowPredictor(cfg)
-		if err != nil {
-			return nil, err
-		}
-		preds[i] = p
-	}
-	var lastType map[slotAddr]coherence.MsgType
-	if opts.TrackArcs {
-		lastType = make(map[slotAddr]coherence.MsgType, 1024)
-	}
-
 	for _, rec := range tr.Records {
-		if opts.MaxIterations > 0 && int(rec.Iter) >= opts.MaxIterations {
-			continue
-		}
-		slot := int(rec.Node)*2 + int(rec.Side)
-		p := preds[slot]
-		_, _, correct := p.Observe(rec.Addr, rec.Tuple())
-		if opts.ForgetOnWriteback && rec.Side == trace.CacheSide && rec.Type == coherence.WritebackAck {
-			p.Forget(rec.Addr)
-		}
-
-		res.Overall.add(correct)
-		if rec.Side == trace.CacheSide {
-			res.Cache.add(correct)
-		} else {
-			res.Dir.add(correct)
-		}
-		res.Types[rec.Type].add(correct)
-		for int(rec.Iter) >= len(res.PerIter) {
-			//cosmosvet:allow hotpath grows once to the trace's iteration count, then never again
-			res.PerIter = append(res.PerIter, Counter{})
-		}
-		res.PerIter[rec.Iter].add(correct)
-
-		if opts.TrackArcs {
-			key := slotAddr{slot: int32(slot), addr: rec.Addr}
-			if from, ok := lastType[key]; ok {
-				arc := Arc{Side: rec.Side, From: from, To: rec.Type}
-				c := res.Arcs[arc]
-				if c == nil {
-					//cosmosvet:allow hotpath one counter per distinct arc, first sighting only
-					c = &Counter{}
-					res.Arcs[arc] = c
-				}
-				c.add(correct)
-			}
-			lastType[key] = rec.Type
-		}
+		ev.observe(rec)
 	}
-
-	for i, p := range preds {
-		res.Memory.Add(p)
-		if i%2 == int(trace.CacheSide) {
-			res.CacheMemory.Add(p)
-		} else {
-			res.DirMemory.Add(p)
-		}
-		releasePredictor(p)
-	}
-	return res, nil
+	return ev.finish(), nil
 }
 
 // slotPartial is one slot's share of a sharded evaluation: everything

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/core"
+	"github.com/cosmos-coherence/cosmos/internal/trace"
+)
+
+// DefaultWindowSize is the streaming evaluation window: 64Ki records
+// (~1.1 MiB of Record structs) — large enough to amortize the window
+// recycling, small enough that peak evaluation memory is dominated by
+// predictor state, not trace storage, at any node count.
+const DefaultWindowSize = 64 * 1024
+
+// RecordSource yields trace records in arrival order, in bounded
+// chunks. *trace.StreamReader implements it; tests substitute
+// synthetic sources.
+type RecordSource interface {
+	// Next fills buf with up to len(buf) records and returns how many
+	// it wrote. It returns io.EOF (with n == 0) once the source is
+	// drained and verified.
+	Next(buf []trace.Record) (int, error)
+}
+
+// StreamOptions tunes a streaming evaluation. The embedded
+// Options.Workers field is ignored: the streaming path is the serial
+// arrival-order walk, windowed.
+type StreamOptions struct {
+	Options
+	// WindowSize bounds how many records are resident at once
+	// (DefaultWindowSize when <= 0).
+	WindowSize int
+	// OnWindow, if set, runs after each window is evaluated with the
+	// number of records it held. The memory-flatness tests use it to
+	// sample peak RSS mid-evaluation.
+	OnWindow func(records int)
+}
+
+// windowPool recycles record windows across streaming evaluations, so
+// a sweep over many (trace, config) cells allocates its window once.
+var windowPool sync.Pool
+
+func borrowWindow(n int) []trace.Record {
+	if v := windowPool.Get(); v != nil {
+		if buf := v.([]trace.Record); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]trace.Record, n)
+}
+
+func releaseWindow(buf []trace.Record) {
+	windowPool.Put(buf[:cap(buf)])
+}
+
+// serialEval is the shared per-record state of the arrival-order
+// evaluators: evaluateSerial drives it from a materialized record
+// slice, EvaluateStream from bounded windows. One observe body keeps
+// the streaming path identical to the serial reference by
+// construction.
+type serialEval struct {
+	res      *Result
+	opts     Options
+	preds    []*core.Predictor
+	lastType map[slotAddr]coherence.MsgType
+}
+
+func newSerialEval(app string, nodes int, cfg core.Config, opts Options) (*serialEval, error) {
+	ev := &serialEval{
+		res:  &Result{App: app, Config: cfg},
+		opts: opts,
+		// One predictor per (node, side), borrowed from the shared pool
+		// (a reset predictor is state-identical to a fresh one).
+		preds: make([]*core.Predictor, 2*nodes),
+	}
+	if opts.TrackArcs {
+		ev.res.Arcs = make(map[Arc]*Counter)
+		ev.lastType = make(map[slotAddr]coherence.MsgType, 1024)
+	}
+	for i := range ev.preds {
+		p, err := borrowPredictor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ev.preds[i] = p
+	}
+	return ev, nil
+}
+
+// observe feeds one record through its slot's predictor and updates
+// every aggregate. This is the per-record hot path.
+//
+//cosmosvet:hotpath
+func (ev *serialEval) observe(rec trace.Record) {
+	if ev.opts.MaxIterations > 0 && int(rec.Iter) >= ev.opts.MaxIterations {
+		return
+	}
+	res := ev.res
+	slot := int(rec.Node)*2 + int(rec.Side)
+	p := ev.preds[slot]
+	_, _, correct := p.Observe(rec.Addr, rec.Tuple())
+	if ev.opts.ForgetOnWriteback && rec.Side == trace.CacheSide && rec.Type == coherence.WritebackAck {
+		p.Forget(rec.Addr)
+	}
+
+	res.Overall.add(correct)
+	if rec.Side == trace.CacheSide {
+		res.Cache.add(correct)
+	} else {
+		res.Dir.add(correct)
+	}
+	res.Types[rec.Type].add(correct)
+	for int(rec.Iter) >= len(res.PerIter) {
+		//cosmosvet:allow hotpath grows once to the trace's iteration count, then never again
+		res.PerIter = append(res.PerIter, Counter{})
+	}
+	res.PerIter[rec.Iter].add(correct)
+
+	if ev.opts.TrackArcs {
+		key := slotAddr{slot: int32(slot), addr: rec.Addr}
+		if from, ok := ev.lastType[key]; ok {
+			arc := Arc{Side: rec.Side, From: from, To: rec.Type}
+			c := res.Arcs[arc]
+			if c == nil {
+				//cosmosvet:allow hotpath one counter per distinct arc, first sighting only
+				c = &Counter{}
+				res.Arcs[arc] = c
+			}
+			c.add(correct)
+		}
+		ev.lastType[key] = rec.Type
+	}
+}
+
+// finish folds predictor memory stats into the result and returns the
+// predictors to the pool.
+func (ev *serialEval) finish() *Result {
+	for i, p := range ev.preds {
+		ev.res.Memory.Add(p)
+		if i%2 == int(trace.CacheSide) {
+			ev.res.CacheMemory.Add(p)
+		} else {
+			ev.res.DirMemory.Add(p)
+		}
+		releasePredictor(p)
+	}
+	return ev.res
+}
+
+// EvaluateStream runs the serial arrival-order evaluation over a
+// record stream without ever materializing the trace: at most one
+// WindowSize-record window (recycled through a pool) plus the per-slot
+// predictor state is resident. For the same records it produces a
+// Result identical to Evaluate's — the streaming-equivalence
+// regression pins this — which is what keeps peak evaluation RSS flat
+// as node count (and with it trace length) grows.
+//
+// app and nodes come from the stream's header
+// (trace.StreamReader.App/Nodes) or from the machine that is being
+// captured live.
+func EvaluateStream(src RecordSource, app string, nodes int, cfg core.Config, opts StreamOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("stats: streaming evaluation needs a positive node count, got %d", nodes)
+	}
+	win := opts.WindowSize
+	if win <= 0 {
+		win = DefaultWindowSize
+	}
+	ev, err := newSerialEval(app, nodes, cfg, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	buf := borrowWindow(win)
+	defer releaseWindow(buf)
+	for {
+		n, err := src.Next(buf)
+		for _, rec := range buf[:n] {
+			if int(rec.Node) >= nodes {
+				return nil, fmt.Errorf("stats: record references node %d of %d", rec.Node, nodes)
+			}
+			ev.observe(rec)
+		}
+		if opts.OnWindow != nil && n > 0 {
+			opts.OnWindow(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ev.finish(), nil
+}

@@ -1,0 +1,193 @@
+// Package topology models structured interconnect shapes for the
+// simulated machine: a 2-D mesh and a 2-D torus with deterministic
+// dimension-order routing, alongside the ideal all-to-all fabric the
+// paper's Table 3 machine assumes.
+//
+// The package is pure geometry: it factors a node count into a
+// near-square grid, maps nodes to coordinates, and enumerates the
+// directed links a message crosses between two nodes. The network
+// layer owns time — it charges per-hop latency and per-link FIFO
+// occupancy against the routes computed here — so routing stays
+// trivially deterministic (same inputs, same hop list, no state).
+package topology
+
+import (
+	"fmt"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// Kind selects the interconnect shape.
+type Kind uint8
+
+const (
+	// AllToAll is the ideal fabric: every node pair is one hop, no
+	// shared links, uniform latency. The zero value, matching the
+	// pre-topology simulator exactly.
+	AllToAll Kind = iota
+	// Mesh is a 2-D grid with links between adjacent nodes only;
+	// edge nodes have no wraparound neighbors.
+	Mesh
+	// Torus is a 2-D grid whose rows and columns wrap around.
+	Torus
+)
+
+func (k Kind) String() string {
+	switch k {
+	case AllToAll:
+		return "all-to-all"
+	case Mesh:
+		return "mesh"
+	case Torus:
+		return "torus"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Parse converts a flag string to a Kind.
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "", "all-to-all", "alltoall", "ideal", "crossbar":
+		return AllToAll, nil
+	case "mesh":
+		return Mesh, nil
+	case "torus":
+		return Torus, nil
+	}
+	return AllToAll, fmt.Errorf("topology: unknown topology %q (want all-to-all, mesh, or torus)", s)
+}
+
+// LinkID names one directed link. Links leave a node in one of four
+// directions, so IDs are dense in [0, 4*nodes) and the network layer
+// can keep per-link state in a flat O(nodes) slice.
+type LinkID int32
+
+// Directions a link leaves its node in.
+const (
+	dirEast  = 0 // +x
+	dirWest  = 1 // -x
+	dirSouth = 2 // +y
+	dirNorth = 3 // -y
+)
+
+// Grid is a node count factored into a w x h arrangement. The zero
+// value is the all-to-all fabric (no grid structure).
+type Grid struct {
+	Kind Kind
+	W, H int
+}
+
+// New factors nodes into the most nearly square grid: W is the largest
+// divisor of nodes not exceeding its square root, so 1024 becomes
+// 32x32, 64 becomes 8x8, and 48 becomes 6x8. Prime node counts
+// degenerate to a 1 x nodes line (or ring, for a torus) — legal, just
+// maximally contended.
+func New(kind Kind, nodes int) (Grid, error) {
+	if kind == AllToAll {
+		return Grid{}, nil
+	}
+	if nodes < 2 {
+		return Grid{}, fmt.Errorf("topology: %s needs at least 2 nodes, got %d", kind, nodes)
+	}
+	w := 1
+	for d := 2; d*d <= nodes; d++ {
+		if nodes%d == 0 {
+			w = d
+		}
+	}
+	// w is the largest divisor with w*w <= nodes; pair it with the
+	// cofactor so w <= h.
+	if nodes%w != 0 {
+		w = 1
+	}
+	return Grid{Kind: kind, W: w, H: nodes / w}, nil
+}
+
+// Structured reports whether the grid models per-link routing (false
+// for the ideal all-to-all fabric).
+func (g Grid) Structured() bool { return g.Kind != AllToAll }
+
+// Nodes returns the node count.
+func (g Grid) Nodes() int { return g.W * g.H }
+
+// NumLinks returns the size of the directed-link ID space.
+func (g Grid) NumLinks() int { return 4 * g.W * g.H }
+
+// Coord maps a node to its (x, y) grid position, row-major.
+func (g Grid) Coord(n coherence.NodeID) (x, y int) {
+	return int(n) % g.W, int(n) / g.W
+}
+
+// link returns the ID of the directed link leaving the node at (x, y)
+// in direction dir.
+func (g Grid) link(x, y, dir int) LinkID {
+	return LinkID(4*(y*g.W+x) + dir)
+}
+
+// step returns one dimension-order step from x toward tx along an axis
+// of extent ext: the direction taken (+1 or -1) and whether it wraps
+// past the edge. A mesh always walks the interior; a torus takes the
+// shorter way around, breaking ties toward +1 so routing is a pure
+// function of the coordinates.
+func (g Grid) step(x, tx, ext int) (dir int, wrap bool) {
+	fwd := tx - x
+	if fwd < 0 {
+		fwd += ext
+	}
+	bwd := ext - fwd // steps the -1 way (fwd > 0 here)
+	if g.Kind == Torus && bwd < fwd {
+		return -1, x == 0
+	}
+	if g.Kind == Mesh && tx < x {
+		return -1, false
+	}
+	return 1, x == ext-1
+}
+
+// Route appends the directed links a message crosses from src to dst —
+// dimension-order: all x hops, then all y hops — and returns the
+// extended slice. Appending into a caller-owned buffer keeps the
+// per-message hot path allocation-free once the buffer has grown to
+// the network diameter. Route panics if the grid is not Structured or
+// src == dst (local delivery never routes).
+//
+//cosmosvet:hotpath
+func (g Grid) Route(src, dst coherence.NodeID, buf []LinkID) []LinkID {
+	if !g.Structured() {
+		panic("topology: routing on an all-to-all fabric")
+	}
+	if src == dst {
+		panic("topology: routing a node-local message")
+	}
+	x, y := g.Coord(src)
+	tx, ty := g.Coord(dst)
+	for x != tx {
+		dir, wrap := g.step(x, tx, g.W)
+		if dir > 0 {
+			//cosmosvet:allow hotpath grows once to the grid diameter, then reuses the caller's buffer
+			buf = append(buf, g.link(x, y, dirEast))
+		} else {
+			//cosmosvet:allow hotpath grows once to the grid diameter, then reuses the caller's buffer
+			buf = append(buf, g.link(x, y, dirWest))
+		}
+		x += dir
+		if wrap {
+			x -= dir * g.W
+		}
+	}
+	for y != ty {
+		dir, wrap := g.step(y, ty, g.H)
+		if dir > 0 {
+			//cosmosvet:allow hotpath grows once to the grid diameter, then reuses the caller's buffer
+			buf = append(buf, g.link(x, y, dirSouth))
+		} else {
+			//cosmosvet:allow hotpath grows once to the grid diameter, then reuses the caller's buffer
+			buf = append(buf, g.link(x, y, dirNorth))
+		}
+		y += dir
+		if wrap {
+			y -= dir * g.H
+		}
+	}
+	return buf
+}

@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+func TestNewFactorsNearSquare(t *testing.T) {
+	cases := []struct{ nodes, w, h int }{
+		{4, 2, 2}, {16, 4, 4}, {64, 8, 8}, {256, 16, 16}, {1024, 32, 32},
+		{48, 6, 8}, {2, 1, 2}, {12, 3, 4}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		g, err := New(Mesh, c.nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.W != c.w || g.H != c.h {
+			t.Errorf("New(Mesh, %d) = %dx%d, want %dx%d", c.nodes, g.W, g.H, c.w, c.h)
+		}
+		if g.Nodes() != c.nodes {
+			t.Errorf("%dx%d grid claims %d nodes", g.W, g.H, g.Nodes())
+		}
+	}
+	if _, err := New(Torus, 1); err == nil {
+		t.Error("accepted a 1-node torus")
+	}
+	g, err := New(AllToAll, 16)
+	if err != nil || g.Structured() {
+		t.Errorf("all-to-all came back structured (%v)", err)
+	}
+}
+
+// walk follows a route link by link, checking each hop leaves the node
+// the previous hop arrived at, and returns the final node.
+func walk(t *testing.T, g Grid, src coherence.NodeID, route []LinkID) coherence.NodeID {
+	t.Helper()
+	at := int(src)
+	for _, l := range route {
+		from := int(l) / 4
+		if from != at {
+			t.Fatalf("hop %d leaves node %d, but the message is at %d", l, from, at)
+		}
+		x, y := g.Coord(coherence.NodeID(from))
+		switch int(l) % 4 {
+		case dirEast:
+			x = (x + 1) % g.W
+		case dirWest:
+			x = (x - 1 + g.W) % g.W
+		case dirSouth:
+			y = (y + 1) % g.H
+		case dirNorth:
+			y = (y - 1 + g.H) % g.H
+		}
+		at = y*g.W + x
+	}
+	return coherence.NodeID(at)
+}
+
+// TestRouteReachesDestination exhaustively routes every pair on small
+// grids and checks arrival, mesh edge legality, and the dimension-order
+// hop bound.
+func TestRouteReachesDestination(t *testing.T) {
+	for _, kind := range []Kind{Mesh, Torus} {
+		for _, nodes := range []int{4, 12, 16, 64} {
+			g, err := New(kind, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < nodes; s++ {
+				for d := 0; d < nodes; d++ {
+					if s == d {
+						continue
+					}
+					src, dst := coherence.NodeID(s), coherence.NodeID(d)
+					route := g.Route(src, dst, nil)
+					if got := walk(t, g, src, route); got != dst {
+						t.Fatalf("%s/%d: route %d->%d arrives at %d", kind, nodes, s, d, got)
+					}
+					if max := g.W + g.H; len(route) > max {
+						t.Fatalf("%s/%d: route %d->%d takes %d hops (diameter bound %d)",
+							kind, nodes, s, d, len(route), max)
+					}
+					if kind == Mesh {
+						for i, l := range route {
+							from := coherence.NodeID(int(l) / 4)
+							x, y := g.Coord(from)
+							dir := int(l) % 4
+							if (dir == dirEast && x == g.W-1) || (dir == dirWest && x == 0) ||
+								(dir == dirSouth && y == g.H-1) || (dir == dirNorth && y == 0) {
+								t.Fatalf("mesh route %d->%d hop %d wraps an edge", s, d, i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTorusTakesShorterWay pins the wrap decision and its tie-break.
+func TestTorusTakesShorterWay(t *testing.T) {
+	g, err := New(Torus, 16) // 4x4
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 3 on a width-4 ring: one hop west (wrap), not three east.
+	if route := g.Route(0, 3, nil); len(route) != 1 || int(route[0])%4 != dirWest {
+		t.Errorf("0->3 = %v, want one west wrap hop", route)
+	}
+	// 0 -> 2: exactly half way around; the tie breaks east.
+	route := g.Route(0, 2, nil)
+	if len(route) != 2 || int(route[0])%4 != dirEast {
+		t.Errorf("0->2 = %v, want two east hops", route)
+	}
+}
+
+// TestRouteDeterministic pins routing as a pure function: identical
+// inputs give identical hop lists, and the buffer is append-only.
+func TestRouteDeterministic(t *testing.T) {
+	g, err := New(Torus, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]LinkID, 0, 16)
+	for s := 0; s < 64; s += 7 {
+		for d := 0; d < 64; d += 5 {
+			if s == d {
+				continue
+			}
+			a := g.Route(coherence.NodeID(s), coherence.NodeID(d), buf[:0])
+			b := g.Route(coherence.NodeID(s), coherence.NodeID(d), nil)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("route %d->%d differs across calls: %v vs %v", s, d, a, b)
+			}
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"": AllToAll, "all-to-all": AllToAll, "ideal": AllToAll,
+		"mesh": Mesh, "torus": Torus,
+	} {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := Parse("hypercube"); err == nil {
+		t.Error("Parse accepted an unknown topology")
+	}
+}
+
+func TestLinkIDsDense(t *testing.T) {
+	g, err := New(Mesh, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 12; s++ {
+		for d := 0; d < 12; d++ {
+			if s == d {
+				continue
+			}
+			for _, l := range g.Route(coherence.NodeID(s), coherence.NodeID(d), nil) {
+				if int(l) < 0 || int(l) >= g.NumLinks() {
+					t.Fatalf("link %d outside [0, %d)", l, g.NumLinks())
+				}
+			}
+		}
+	}
+}

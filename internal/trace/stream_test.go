@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+)
+
+// memFile is an in-memory io.ReadWriteSeeker for exercising the
+// streaming writer without touching disk.
+type memFile struct {
+	buf []byte
+	off int64
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if end := f.off + int64(len(p)); end > int64(len(f.buf)) {
+		f.buf = append(f.buf, make([]byte, end-int64(len(f.buf)))...)
+	}
+	n := copy(f.buf[f.off:], p)
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		f.off = off
+	case io.SeekCurrent:
+		f.off += off
+	case io.SeekEnd:
+		f.off = int64(len(f.buf)) + off
+	}
+	return f.off, nil
+}
+
+func streamEncode(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	f := &memFile{}
+	w, err := NewStreamWriter(f, tr.App, tr.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f.buf
+}
+
+// TestStreamWriterMatchesWrite pins the central streaming contract:
+// for the same records, StreamWriter produces the exact bytes Write
+// produces, so cached traces are interchangeable between the batch and
+// streaming paths.
+func TestStreamWriterMatchesWrite(t *testing.T) {
+	tr := sampleTrace()
+	var want bytes.Buffer
+	if err := Write(&want, tr); err != nil {
+		t.Fatal(err)
+	}
+	got := streamEncode(t, tr)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streamed encoding diverges from Write: %d vs %d bytes", len(got), want.Len())
+	}
+}
+
+func TestStreamReaderRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	sr, err := NewStreamReader(bytes.NewReader(streamEncode(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.App() != tr.App || sr.Nodes() != tr.Nodes || sr.Iterations() != tr.Iterations {
+		t.Fatalf("header mismatch: app=%q nodes=%d iters=%d", sr.App(), sr.Nodes(), sr.Iterations())
+	}
+	// A 2-record window forces multiple Next calls over 6 records.
+	var got []Record
+	buf := make([]Record, 2)
+	for {
+		n, err := sr.Next(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(tr.Records) {
+		t.Fatalf("read %d records, want %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		if got[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], tr.Records[i])
+		}
+	}
+}
+
+func TestStreamReaderCatchesCorruption(t *testing.T) {
+	enc := streamEncode(t, sampleTrace())
+
+	t.Run("flipped-payload-byte", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[len(bad)-footerSize-3] ^= 0x40 // inside the last record's addr
+		sr, err := NewStreamReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]Record, 64)
+		for {
+			_, err = sr.Next(buf)
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatal("checksum mismatch went unnoticed")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		sr, err := NewStreamReader(bytes.NewReader(enc[:len(enc)-footerSize-5]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]Record, 64)
+		for {
+			_, err = sr.Next(buf)
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF || err == nil {
+			t.Fatal("truncation went unnoticed")
+		}
+	})
+}
+
+func TestVerify(t *testing.T) {
+	enc := streamEncode(t, sampleTrace())
+	if err := Verify(bytes.NewReader(enc)); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[30] ^= 1
+	if err := Verify(bytes.NewReader(bad)); err == nil {
+		t.Fatal("Verify accepted a corrupted payload")
+	}
+	if err := Verify(bytes.NewReader(enc[:len(enc)-1])); err == nil {
+		t.Fatal("Verify accepted a truncated file")
+	}
+}
+
+// TestStreamRecorderMatchesRecorder drives both observers with the
+// same message sequence (including an excluded startup iteration) and
+// checks they encode identical files.
+func TestStreamRecorderMatchesRecorder(t *testing.T) {
+	tr := sampleTrace()
+	rec := NewRecorder(tr.App, tr.Nodes, 2, 1)
+	f := &memFile{}
+	sw, err := NewStreamWriter(f, tr.App, tr.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srec := NewStreamRecorder(sw, 2, 1)
+
+	feed := func(phase int) {
+		for _, r := range tr.Records {
+			msg := coherence.Msg{Src: r.Sender, Dst: r.Node, Type: r.Type, Addr: r.Addr}
+			if r.Side == CacheSide {
+				rec.ObserveCache(r.Node, msg)
+				srec.ObserveCache(r.Node, msg)
+			} else {
+				rec.ObserveDirectory(r.Node, msg)
+				srec.ObserveDirectory(r.Node, msg)
+			}
+		}
+		rec.EndIteration(phase)
+		srec.EndIteration(phase)
+	}
+	for phase := 0; phase < 6; phase++ {
+		feed(phase)
+	}
+	if err := srec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := Write(&want, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.buf, want.Bytes()) {
+		t.Fatalf("streamed capture diverges from Recorder: %d vs %d bytes", len(f.buf), want.Len())
+	}
+}
+
+func TestStreamWriterStickyError(t *testing.T) {
+	w, err := NewStreamWriter(&memFile{}, "x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := w.Append(Record{}); err == nil {
+		t.Fatal("sticky error cleared itself")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after failed Append reported success")
+	}
+}

@@ -17,6 +17,7 @@ package tracecache
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -95,6 +96,67 @@ func (c Cache) Store(key string, tr *trace.Trace) error {
 		tmp.Close()
 		return fmt.Errorf("tracecache: encode %s: %w", key, err)
 	}
+	if err := fsyncTemp(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tracecache: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tracecache: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("tracecache: install %s: %w", key, err)
+	}
+	return nil
+}
+
+// OpenStream opens the raw CTRC file for key for streaming reads,
+// after a full integrity pass (header shape, footer length, CRC). The
+// second result is false on a miss. The caller owns the file and
+// typically wraps it in a trace.StreamReader; the verify-then-stream
+// split keeps the strict fail-loudly contract of Load without ever
+// materializing the records.
+func (c Cache) OpenStream(key string) (*os.File, bool, error) {
+	if !c.Enabled() {
+		return nil, false, nil
+	}
+	p := c.path(key)
+	f, err := os.Open(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("tracecache: open %s: %w", p, err)
+	}
+	if err := trace.Verify(f); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("tracecache: %s is unusable (delete it to re-simulate): %w", p, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("tracecache: rewind %s: %w", p, err)
+	}
+	return f, true, nil
+}
+
+// TempFile creates a temp file in the cache directory for a streaming
+// capture destined for key. Pair with Promote (success) or discard
+// with Close + os.Remove.
+func (c Cache) TempFile(key string) (*os.File, error) {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracecache: create %s: %w", c.Dir, err)
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("tracecache: temp file: %w", err)
+	}
+	return tmp, nil
+}
+
+// Promote installs a finished TempFile capture under key with the same
+// durability ordering as Store: fsync, close, rename. The file must
+// already hold a complete CTRC stream (trace.StreamWriter.Close done).
+func (c Cache) Promote(tmp *os.File, key string) error {
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := fsyncTemp(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("tracecache: fsync temp: %w", err)
