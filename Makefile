@@ -56,13 +56,17 @@ warm-cache:
 # is deliberately generous (shared CI runners are noisy and slower than
 # the reference container); it exists to catch order-of-magnitude
 # regressions — an accidental serial fallback, a cache that stopped
-# hitting — not single-digit drift.
+# hitting — not single-digit drift. Allocation counts are deterministic
+# on any machine, so the allocs/op gate is far tighter: it catches a
+# reintroduced per-event closure or a lost buffer reuse immediately.
 BENCH_GATE_THRESHOLD ?= 300
+BENCH_GATE_ALLOC_THRESHOLD ?= 20
 bench-gate:
 	rm -f /tmp/bench-gate.json
 	COSMOS_BENCH_SCALE=small $(GO) run ./cmd/cosmos-bench -label gate -trace-cache $(TRACE_CACHE) \
 		-bench 'Table5|Table6|EvaluateThroughput|ServeSLO|ScaleSweep' -o /tmp/bench-gate.json
-	$(GO) run ./cmd/cosmos-bench -compare -threshold $(BENCH_GATE_THRESHOLD) BENCH_SMOKE_BASELINE.json /tmp/bench-gate.json
+	$(GO) run ./cmd/cosmos-bench -compare -threshold $(BENCH_GATE_THRESHOLD) \
+		-alloc-threshold $(BENCH_GATE_ALLOC_THRESHOLD) BENCH_SMOKE_BASELINE.json /tmp/bench-gate.json
 
 # The performance ledger: snapshot-over-snapshot ns/op history for
 # every benchmark label in every committed snapshot file. Fails on a

@@ -10,6 +10,7 @@ package cosmos_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -66,6 +67,25 @@ func fullSuite(b *testing.B) *experiments.Suite {
 	return suite
 }
 
+// reportGC attaches the garbage collector's share of a benchmark as
+// custom metrics: stop-the-world pause accumulated over the timed
+// region, amortized per iteration (gc-pause-ns/op), and the live heap
+// after the final iteration (heap-live-B). Call it before the loop and
+// defer the returned func. cosmos-bench's parser stores any custom
+// unit in the snapshot's metrics map, so GC cost is versioned in
+// BENCH_*.json next to ns/op and allocs/op.
+func reportGC(b *testing.B) func() {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	return func() {
+		b.StopTimer()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.PauseTotalNs-before.PauseTotalNs)/float64(b.N), "gc-pause-ns/op")
+		b.ReportMetric(float64(after.HeapAlloc), "heap-live-B")
+	}
+}
+
 // warm materializes all five traces outside the timed region.
 func warm(b *testing.B, s *experiments.Suite) {
 	b.Helper()
@@ -91,6 +111,7 @@ func BenchmarkTable5(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			s.SetWorkers(bc.workers)
 			defer s.SetWorkers(1)
+			defer reportGC(b)()
 			b.ResetTimer()
 			var rows []experiments.Table5Row
 			for i := 0; i < b.N; i++ {
@@ -113,6 +134,7 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkTable6(b *testing.B) {
 	s := fullSuite(b)
 	warm(b, s)
+	defer reportGC(b)()
 	b.ResetTimer()
 	var rows []experiments.Table6Row
 	for i := 0; i < b.N; i++ {
@@ -411,6 +433,7 @@ func BenchmarkEngine(b *testing.B) {
 // snapshot/WAL I/O), gated by cosmos-bench -compare like the other
 // headline benchmarks.
 func BenchmarkServeSLO(b *testing.B) {
+	defer reportGC(b)()
 	const streams, obs = 4, 400
 	workload := serve.GenWorkload(1, streams, obs)
 	var tput float64
@@ -451,6 +474,7 @@ func BenchmarkEvaluateThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer reportGC(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stats.Evaluate(tr, core.Config{Depth: 2}, stats.Options{}); err != nil {
@@ -471,6 +495,7 @@ func BenchmarkEvaluateThroughputSharded(b *testing.B) {
 		b.Fatal(err)
 	}
 	tr.Partition() // build the memoized view outside the timed region
+	defer reportGC(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stats.Evaluate(tr, core.Config{Depth: 2}, stats.Options{Workers: 8}); err != nil {
@@ -497,6 +522,7 @@ func BenchmarkScaleSweep(b *testing.B) {
 			cfg.Stache.DirFormat = stache.DirLimitedPtr
 			s := experiments.NewSuite(cfg)
 			b.ReportAllocs()
+			defer reportGC(b)()
 			b.ResetTimer()
 			var res *stats.Result
 			for i := 0; i < b.N; i++ {

@@ -10,8 +10,12 @@ import (
 
 // compareFiles loads two snapshot files and diffs their latest
 // snapshots. It returns an error (nonzero exit) when any benchmark's
-// ns/op regressed by more than threshold percent.
-func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) error {
+// ns/op regressed by more than threshold percent, or — with
+// allocThreshold >= 0 — when any benchmark's allocs/op regressed by
+// more than allocThreshold percent. Allocation counts are deterministic
+// where wall time is noisy, so the alloc gate is typically far tighter
+// than the ns gate.
+func compareFiles(w io.Writer, oldPath, newPath string, threshold, allocThreshold float64) error {
 	oldSnap, err := latestSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -20,10 +24,14 @@ func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) error
 	if err != nil {
 		return err
 	}
-	regressed := compareSnapshots(w, oldSnap, newSnap, threshold)
+	regressed, allocRegressed := compareSnapshots(w, oldSnap, newSnap, threshold, allocThreshold)
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%% on ns/op: %v",
 			len(regressed), threshold, regressed)
+	}
+	if len(allocRegressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%% on allocs/op: %v",
+			len(allocRegressed), allocThreshold, allocRegressed)
 	}
 	return nil
 }
@@ -48,19 +56,24 @@ func latestSnapshot(path string) (Snapshot, error) {
 // compareSnapshots prints a per-benchmark delta table (ns/op, B/op,
 // allocs/op) for every benchmark present in both snapshots, notes the
 // ones present in only one, and returns the names whose ns/op
-// regressed beyond threshold percent. Benchmarks are walked in the old
-// snapshot's order, so output is deterministic.
-func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64) []string {
+// (respectively allocs/op) regressed beyond their thresholds. An
+// allocThreshold < 0 disables the allocation gate. Benchmarks are
+// walked in the old snapshot's order, so output is deterministic.
+func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold, allocThreshold float64) (regressed, allocRegressed []string) {
 	newBy := make(map[string]Benchmark, len(newSnap.Benchmarks))
 	for _, b := range newSnap.Benchmarks {
 		newBy[b.Name] = b
 	}
-	fmt.Fprintf(w, "comparing %q (%s) -> %q (%s), ns/op gate %.1f%%\n",
-		oldSnap.Label, oldSnap.Date, newSnap.Label, newSnap.Date, threshold)
+	if allocThreshold >= 0 {
+		fmt.Fprintf(w, "comparing %q (%s) -> %q (%s), ns/op gate %.1f%%, allocs/op gate %.1f%%\n",
+			oldSnap.Label, oldSnap.Date, newSnap.Label, newSnap.Date, threshold, allocThreshold)
+	} else {
+		fmt.Fprintf(w, "comparing %q (%s) -> %q (%s), ns/op gate %.1f%%\n",
+			oldSnap.Label, oldSnap.Date, newSnap.Label, newSnap.Date, threshold)
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tB/op\tallocs/op")
-	var regressed []string
 	seen := make(map[string]bool, len(oldSnap.Benchmarks))
 	for _, ob := range oldSnap.Benchmarks {
 		seen[ob.Name] = true
@@ -75,10 +88,15 @@ func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64)
 			marker = "  REGRESSION"
 			regressed = append(regressed, ob.Name)
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t%s\t%s\n",
+		allocMarker := ""
+		if ad := pctDelta(ob.AllocsPerOp, nb.AllocsPerOp); allocThreshold >= 0 && ad > allocThreshold {
+			allocMarker = "  ALLOC REGRESSION"
+			allocRegressed = append(allocRegressed, ob.Name)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t%s\t%s%s\n",
 			ob.Name, ob.NsPerOp, nb.NsPerOp, d, marker,
 			deltaCol(ob.BytesPerOp, nb.BytesPerOp),
-			deltaCol(ob.AllocsPerOp, nb.AllocsPerOp))
+			deltaCol(ob.AllocsPerOp, nb.AllocsPerOp), allocMarker)
 	}
 	for _, nb := range newSnap.Benchmarks {
 		if !seen[nb.Name] {
@@ -86,7 +104,7 @@ func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64)
 		}
 	}
 	tw.Flush()
-	return regressed
+	return regressed, allocRegressed
 }
 
 // pctDelta is the percent change from old to new (positive = slower /

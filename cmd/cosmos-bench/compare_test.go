@@ -32,9 +32,12 @@ func TestCompareSnapshotsDeltas(t *testing.T) {
 		{Name: "BenchmarkNew", NsPerOp: 7},
 	}}
 	var buf bytes.Buffer
-	regressed := compareSnapshots(&buf, oldSnap, newSnap, 10)
+	regressed, allocRegressed := compareSnapshots(&buf, oldSnap, newSnap, 10, -1)
 	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
 		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
+	}
+	if len(allocRegressed) != 0 {
+		t.Fatalf("disabled alloc gate still flags %v", allocRegressed)
 	}
 	out := buf.String()
 	for _, want := range []string{"-50.0%", "+25.0%", "REGRESSION", "(missing in new)", "(new)"} {
@@ -44,8 +47,42 @@ func TestCompareSnapshotsDeltas(t *testing.T) {
 	}
 
 	// A generous threshold passes the same pair.
-	if regressed := compareSnapshots(&bytes.Buffer{}, oldSnap, newSnap, 30); len(regressed) != 0 {
+	if regressed, _ := compareSnapshots(&bytes.Buffer{}, oldSnap, newSnap, 30, -1); len(regressed) != 0 {
 		t.Fatalf("threshold 30%% still flags %v", regressed)
+	}
+}
+
+func TestCompareAllocThresholdGate(t *testing.T) {
+	oldSnap := Snapshot{Label: "base", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	newSnap := Snapshot{Label: "next", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 150}, // 50% more allocations, same speed
+	}}
+	var buf bytes.Buffer
+	regressed, allocRegressed := compareSnapshots(&buf, oldSnap, newSnap, 10, 25)
+	if len(regressed) != 0 {
+		t.Fatalf("ns gate flagged %v on unchanged ns/op", regressed)
+	}
+	if len(allocRegressed) != 1 || allocRegressed[0] != "BenchmarkA" {
+		t.Fatalf("allocRegressed = %v, want [BenchmarkA]", allocRegressed)
+	}
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
+		t.Errorf("output missing alloc regression marker:\n%s", buf.String())
+	}
+
+	// The same pair passes with the gate disabled, and end-to-end the
+	// gate turns into a nonzero exit naming the benchmark.
+	if _, ar := compareSnapshots(&bytes.Buffer{}, oldSnap, newSnap, 10, -1); len(ar) != 0 {
+		t.Fatalf("disabled gate flagged %v", ar)
+	}
+	dir := t.TempDir()
+	oldPath, newPath := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeSnapshotFile(t, oldPath, oldSnap)
+	writeSnapshotFile(t, newPath, newSnap)
+	err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10, 25)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc gate error = %v, want allocs/op regression naming BenchmarkA", err)
 	}
 }
 
@@ -60,12 +97,12 @@ func TestCompareFilesExitBehavior(t *testing.T) {
 		Snapshot{Label: "stale", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 900}}},
 		Snapshot{Label: "current", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 105}}},
 	)
-	if err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10); err != nil {
+	if err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10, -1); err != nil {
 		t.Fatalf("within-threshold compare failed: %v", err)
 	}
 
 	writeSnapshotFile(t, newPath, Snapshot{Label: "slow", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 300}}})
-	err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10)
+	err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10, -1)
 	if err == nil {
 		t.Fatal("3x regression passed the gate")
 	}
@@ -73,11 +110,11 @@ func TestCompareFilesExitBehavior(t *testing.T) {
 		t.Fatalf("gate error %q does not name the benchmark", err)
 	}
 
-	if err := compareFiles(&bytes.Buffer{}, filepath.Join(dir, "absent.json"), newPath, 10); err == nil {
+	if err := compareFiles(&bytes.Buffer{}, filepath.Join(dir, "absent.json"), newPath, 10, -1); err == nil {
 		t.Fatal("missing old file accepted")
 	}
 	writeSnapshotFile(t, oldPath) // no snapshots
-	if err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10); err == nil {
+	if err := compareFiles(&bytes.Buffer{}, oldPath, newPath, 10, -1); err == nil {
 		t.Fatal("empty snapshot list accepted")
 	}
 }

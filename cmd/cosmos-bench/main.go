@@ -70,18 +70,19 @@ func main() {
 
 func run() error {
 	var (
-		label     = flag.String("label", "", "snapshot label (e.g. baseline, optimized); required")
-		out       = flag.String("o", "", "JSON file to append the snapshot to; required")
-		parse     = flag.String("parse", "", "parse a saved `go test -bench` output file instead of running")
-		benchRe   = flag.String("bench", ".", "benchmark selector regexp (go test -bench)")
-		benchtime = flag.String("benchtime", "1x", "per-benchmark time or iteration budget")
-		date      = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date stamp")
-		note      = flag.String("note", "", "free-text caveat recorded in the snapshot")
-		pkg       = flag.String("pkg", ".", "package to benchmark")
-		tcache    = flag.String("trace-cache", "", "trace cache directory passed to the benchmark harness (COSMOS_TRACE_CACHE)")
-		doCompare = flag.Bool("compare", false, "compare the latest snapshots of two JSON files: cosmos-bench -compare old.json new.json")
-		threshold = flag.Float64("threshold", 10, "with -compare: max allowed ns/op regression in percent before exiting nonzero")
-		trend     = flag.String("trend", "", "print the snapshot-over-snapshot delta history of one JSON file and exit")
+		label          = flag.String("label", "", "snapshot label (e.g. baseline, optimized); required")
+		out            = flag.String("o", "", "JSON file to append the snapshot to; required")
+		parse          = flag.String("parse", "", "parse a saved `go test -bench` output file instead of running")
+		benchRe        = flag.String("bench", ".", "benchmark selector regexp (go test -bench)")
+		benchtime      = flag.String("benchtime", "1x", "per-benchmark time or iteration budget")
+		date           = flag.String("date", time.Now().Format("2006-01-02"), "snapshot date stamp")
+		note           = flag.String("note", "", "free-text caveat recorded in the snapshot")
+		pkg            = flag.String("pkg", ".", "package to benchmark")
+		tcache         = flag.String("trace-cache", "", "trace cache directory passed to the benchmark harness (COSMOS_TRACE_CACHE)")
+		doCompare      = flag.Bool("compare", false, "compare the latest snapshots of two JSON files: cosmos-bench -compare old.json new.json")
+		threshold      = flag.Float64("threshold", 10, "with -compare: max allowed ns/op regression in percent before exiting nonzero")
+		allocThreshold = flag.Float64("alloc-threshold", -1, "with -compare: max allowed allocs/op regression in percent before exiting nonzero (negative disables; alloc counts are deterministic, so this gate can be much tighter than -threshold)")
+		trend          = flag.String("trend", "", "print the snapshot-over-snapshot delta history of one JSON file and exit")
 	)
 	flag.Parse()
 
@@ -92,7 +93,7 @@ func run() error {
 		if flag.NArg() != 2 {
 			return fmt.Errorf("-compare wants exactly two arguments: old.json new.json")
 		}
-		return compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		return compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold)
 	}
 	if *label == "" || *out == "" {
 		return fmt.Errorf("-label and -o are required")

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/cosmos-coherence/cosmos/internal/coherence"
+	"github.com/cosmos-coherence/cosmos/internal/stache"
+	"github.com/cosmos-coherence/cosmos/internal/workload"
+)
+
+// TestWheelHeapMachineEquivalence is the whole-machine two-run pin for
+// the timing-wheel scheduler: a full simulation on the default (wheel)
+// engine must produce the byte-identical coherence message stream,
+// event count, final clock, and protocol end state as the same
+// simulation on the pure-heap reference scheduler. Every replay
+// contract in the repo (trace byte-identity, chaos replay bundles,
+// serve kill-and-restore) rides on this equivalence.
+func TestWheelHeapMachineEquivalence(t *testing.T) {
+	type result struct {
+		msgs   []coherence.Msg
+		fired  uint64
+		now    uint64
+		digest string
+	}
+	run := func(heapOnly bool, faults bool) result {
+		cfg := smallConfig(8)
+		if faults {
+			cfg.Faults.Seed = 7
+			cfg.Faults.DropProb = 0.02
+			cfg.Faults.DupProb = 0.02
+			cfg.Faults.JitterNs = 30
+		}
+		app := workload.NewDSMC(8, workload.ScaleSmall)
+		m, err := New(cfg, stache.DefaultOptions(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Engine().SetHeapOnly(heapOnly)
+		rec := &recorder{}
+		m.AddObserver(rec)
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return result{
+			msgs:   append(rec.cacheMsgs, rec.dirMsgs...),
+			fired:  m.Engine().Fired(),
+			now:    uint64(m.Engine().Now()),
+			digest: m.StateDigest(),
+		}
+	}
+	for _, faults := range []bool{false, true} {
+		wheel, heap := run(false, faults), run(true, faults)
+		if wheel.fired != heap.fired || wheel.now != heap.now {
+			t.Fatalf("faults=%v: wheel fired %d events ending at t=%d, heap %d at t=%d",
+				faults, wheel.fired, wheel.now, heap.fired, heap.now)
+		}
+		if wheel.digest != heap.digest {
+			t.Fatalf("faults=%v: end-state digests differ:\nwheel: %s\nheap:  %s",
+				faults, wheel.digest, heap.digest)
+		}
+		if len(wheel.msgs) != len(heap.msgs) {
+			t.Fatalf("faults=%v: message counts differ: %d vs %d", faults, len(wheel.msgs), len(heap.msgs))
+		}
+		for i := range wheel.msgs {
+			if wheel.msgs[i] != heap.msgs[i] {
+				t.Fatalf("faults=%v: message %d differs: %v vs %v", faults, i, wheel.msgs[i], heap.msgs[i])
+			}
+		}
+	}
+}

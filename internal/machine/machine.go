@@ -83,6 +83,17 @@ type Machine struct {
 	barrierLatency sim.Time
 	// thinkTime separates consecutive accesses by one processor.
 	thinkTime sim.Time
+
+	// kindStep and kindBarrier are the engine event kinds for the
+	// processor issue loop and the barrier release; both carry their
+	// whole payload (the processor id) in the EventRec, so the issue
+	// loop schedules without allocating.
+	kindStep    sim.EventKind
+	kindBarrier sim.EventKind
+	// done holds one access-completion callback per processor, built
+	// once at construction; the per-access path hands the cache a
+	// preallocated closure instead of minting one per reference.
+	done []func()
 }
 
 // New builds a machine running app under cfg and opts. The app must
@@ -148,6 +159,13 @@ func New(cfg sim.Config, opts stache.Options, app workload.App) (*Machine, error
 	}
 	for i := range m.waitingSince {
 		m.waitingSince[i] = sim.MaxTime
+	}
+	m.kindStep = engine.RegisterHandler(func(rec sim.EventRec) { m.step(&m.procs[rec.Dst]) })
+	m.kindBarrier = engine.RegisterHandler(func(sim.EventRec) { m.startIteration() })
+	m.done = make([]func(), cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := coherence.NodeID(i)
+		m.done[i] = func() { m.accessDone(node) }
 	}
 
 	// On a faulty wire, layer the reliable transport between the
@@ -541,15 +559,17 @@ func (m *Machine) startIteration() {
 	m.arrived = 0
 	for i := range m.procs {
 		p := &m.procs[i]
-		p.seq = m.app.Accesses(i, m.iter)
+		p.seq = workload.AppendAccesses(m.app, p.seq[:0], i, m.iter)
 		p.next = 0
 		skew := sim.Time(i) * m.thinkTime
-		m.engine.After(skew, func() { m.step(p) })
+		m.engine.PostAfter(skew, sim.EventRec{Kind: m.kindStep, Dst: p.id})
 	}
 }
 
 // step issues processor p's next access, or reports barrier arrival
 // when its iteration sequence is exhausted.
+//
+//cosmosvet:hotpath
 func (m *Machine) step(p *proc) {
 	if p.next >= len(p.seq) {
 		m.barrierArrive()
@@ -559,11 +579,17 @@ func (m *Machine) step(p *proc) {
 	p.next++
 	m.accesses++
 	m.waitingSince[p.id] = m.engine.Now()
-	m.caches[p.id].Access(a.Addr, a.Write, func() {
-		m.waitingSince[p.id] = sim.MaxTime
-		m.noteProgress()
-		m.engine.After(m.thinkTime, func() { m.step(p) })
-	})
+	m.caches[p.id].Access(a.Addr, a.Write, m.done[p.id])
+}
+
+// accessDone completes processor id's outstanding access and schedules
+// its next issue step after the think time.
+//
+//cosmosvet:hotpath
+func (m *Machine) accessDone(id coherence.NodeID) {
+	m.waitingSince[id] = sim.MaxTime
+	m.noteProgress()
+	m.engine.PostAfter(m.thinkTime, sim.EventRec{Kind: m.kindStep, Dst: id})
 }
 
 // barrierArrive counts arrivals; the last arrival completes the
@@ -582,5 +608,5 @@ func (m *Machine) barrierArrive() {
 	if m.iter >= m.app.Iterations() {
 		return
 	}
-	m.engine.After(m.barrierLatency, m.startIteration)
+	m.engine.PostAfter(m.barrierLatency, sim.EventRec{Kind: m.kindBarrier})
 }

@@ -53,6 +53,15 @@ type Packet struct {
 // PacketHandler receives a delivered packet at its destination node.
 type PacketHandler func(pkt Packet)
 
+// Packet flag bits carried in the delivery EventRec. A Packet in
+// flight lives entirely inside a value-typed sim.EventRec — src/dst in
+// the receiver indexes, TSeq in the scalar, Ctrl/Retx here — so
+// scheduling a delivery allocates nothing.
+const (
+	flagCtrl uint8 = 1 << iota
+	flagRetx
+)
+
 // SendError describes a malformed injection. Send and SendPacket panic
 // with *SendError — a malformed message is a simulator bug, not a
 // recoverable condition — so tests can recover and inspect the typed
@@ -129,6 +138,9 @@ type Network struct {
 	nodes        int
 	seq          uint64
 	stats        Stats
+	// kindDeliver is the engine event kind for wire deliveries; the
+	// handler reconstructs the Packet from the EventRec.
+	kindDeliver sim.EventKind
 	// inflight counts coherence messages scheduled for delivery but not
 	// yet handed to their destination handler (dropped packets are never
 	// counted; duplicated ones count twice until both copies land). The
@@ -168,6 +180,7 @@ func New(engine *sim.Engine, cfg sim.Config) (*Network, error) {
 		injector: inj,
 		nodes:    n,
 	}
+	nw.kindDeliver = engine.RegisterHandler(nw.handleDeliver)
 	if grid.Structured() {
 		nw.topo = grid
 		nw.linkFree = make([]sim.Time, grid.NumLinks())
@@ -218,12 +231,49 @@ func (nw *Network) Stats() Stats { return nw.stats }
 // handler. Transport control frames are excluded.
 func (nw *Network) InFlight() int { return nw.inflight }
 
-// deliver hands pkt to h, retiring its in-flight accounting first.
-func (nw *Network) deliver(h PacketHandler, pkt Packet) {
+// post schedules pkt's delivery at time at as a value-typed event,
+// taking its in-flight accounting. This is the only scheduling path
+// for the wire: one EventRec, no closure, no per-message allocation.
+//
+//cosmosvet:hotpath
+func (nw *Network) post(at sim.Time, pkt Packet) {
+	var flags uint8
+	if pkt.Ctrl {
+		flags |= flagCtrl
+	} else {
+		nw.inflight++
+	}
+	if pkt.Retx {
+		flags |= flagRetx
+	}
+	nw.engine.Post(at, sim.EventRec{
+		Kind:  nw.kindDeliver,
+		Flags: flags,
+		Src:   pkt.Src,
+		Dst:   pkt.Dst,
+		Seq:   pkt.TSeq,
+		Msg:   pkt.Msg,
+	})
+}
+
+// handleDeliver fires a scheduled delivery: rebuild the Packet from
+// the EventRec, retire its in-flight accounting, and hand it to the
+// destination handler (bound before send, checked in SendPacket).
+//
+//cosmosvet:hotpath
+func (nw *Network) handleDeliver(rec sim.EventRec) {
+	pkt := Packet{
+		Src:  rec.Src,
+		Dst:  rec.Dst,
+		Msg:  rec.Msg,
+		Ctrl: rec.Flags&flagCtrl != 0,
+		TSeq: rec.Seq,
+		Retx: rec.Flags&flagRetx != 0,
+	}
 	if !pkt.Ctrl {
 		nw.inflight--
 	}
-	h(pkt)
+	nw.handlers[pkt.Dst](pkt)
 }
 
 // Send injects msg into the network. Delivery to msg.Dst is scheduled
@@ -270,8 +320,6 @@ func (nw *Network) SendPacket(pkt Packet) {
 		}
 	}
 
-	h := nw.handlers[pkt.Dst]
-
 	// Structured fabrics route remote messages hop by hop; the fault
 	// injector then judges the end-to-end journey exactly as it judges
 	// an all-to-all flight, so fault plans and the reliable transport
@@ -284,23 +332,14 @@ func (nw *Network) SendPacket(pkt Packet) {
 				nw.stats.FaultDropped++
 				return
 			}
-			if !pkt.Ctrl {
-				nw.inflight++
-			}
-			nw.engine.At(deliverAt+sim.Time(d.JitterNs), func() { nw.deliver(h, pkt) })
+			nw.post(deliverAt+sim.Time(d.JitterNs), pkt)
 			if d.Duplicate {
 				nw.stats.FaultDuplicated++
-				if !pkt.Ctrl {
-					nw.inflight++
-				}
-				nw.engine.At(deliverAt+sim.Time(d.DupJitterNs), func() { nw.deliver(h, pkt) })
+				nw.post(deliverAt+sim.Time(d.DupJitterNs), pkt)
 			}
 			return
 		}
-		if !pkt.Ctrl {
-			nw.inflight++
-		}
-		nw.engine.At(deliverAt, func() { nw.deliver(h, pkt) })
+		nw.post(deliverAt, pkt)
 		return
 	}
 
@@ -309,10 +348,7 @@ func (nw *Network) SendPacket(pkt Packet) {
 		// FIFO per link: never deliver before the previous message on
 		// the same (src,dst) link.
 		deliverAt := nw.clampFIFO(pkt.Src, pkt.Dst, nw.engine.Now()+lat)
-		if !pkt.Ctrl {
-			nw.inflight++
-		}
-		nw.engine.At(deliverAt, func() { nw.deliver(h, pkt) })
+		nw.post(deliverAt, pkt)
 		return
 	}
 
@@ -324,16 +360,10 @@ func (nw *Network) SendPacket(pkt Packet) {
 		nw.stats.FaultDropped++
 		return
 	}
-	if !pkt.Ctrl {
-		nw.inflight++
-	}
-	nw.engine.At(nw.engine.Now()+lat+sim.Time(d.JitterNs), func() { nw.deliver(h, pkt) })
+	nw.post(nw.engine.Now()+lat+sim.Time(d.JitterNs), pkt)
 	if d.Duplicate {
 		nw.stats.FaultDuplicated++
-		if !pkt.Ctrl {
-			nw.inflight++
-		}
-		nw.engine.At(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), func() { nw.deliver(h, pkt) })
+		nw.post(nw.engine.Now()+lat+sim.Time(d.DupJitterNs), pkt)
 	}
 }
 

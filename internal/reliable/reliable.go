@@ -132,6 +132,15 @@ type Transport struct {
 	stats      Stats
 	onFailure  func(error)
 	failure    error
+	// kindRetx is the engine event kind for retransmit timers; the
+	// EventRec carries the link (Src, Dst) and frame number (Seq), so
+	// arming a timer allocates nothing.
+	kindRetx sim.EventKind
+	// outFree recycles retransmit records: acknowledged frames return
+	// their *outstanding here and the next Send reuses it, so a steady
+	// stream of frames stops allocating once the high-water mark of
+	// concurrently unacked frames has been reached.
+	outFree []*outstanding
 }
 
 // New layers a reliable transport over nw, claiming every node's
@@ -171,6 +180,7 @@ func New(engine *sim.Engine, nw *network.Network, cfg sim.Config) *Transport {
 		handlers:   make([]network.Handler, nw.Nodes()),
 		links:      make([]*link, nw.Nodes()*nw.Nodes()),
 	}
+	t.kindRetx = engine.RegisterHandler(t.handleRetx)
 	for i := 0; i < t.nodes; i++ {
 		node := coherence.NodeID(i)
 		nw.BindPacket(node, t.receive)
@@ -275,18 +285,46 @@ func (t *Transport) Send(msg coherence.Msg) {
 	l := t.linkFor(msg.Src, msg.Dst)
 	l.nextSend++
 	ts := l.nextSend
-	//cosmosvet:allow hotpath per-frame retransmit record, reclaimed when the ack arrives
-	l.unacked[ts] = &outstanding{msg: msg, backoff: t.timeout, sentAt: t.engine.Now()}
+	o := t.getOutstanding()
+	o.msg, o.backoff, o.sentAt = msg, t.timeout, t.engine.Now()
+	l.unacked[ts] = o
 	t.stats.DataSent++
 	t.net.SendPacket(network.Packet{Src: msg.Src, Dst: msg.Dst, Msg: msg, TSeq: ts})
 	t.armTimer(l, ts)
 }
 
+// getOutstanding takes a retransmit record from the free list, or
+// allocates one the first time the in-flight window grows this deep.
+//
+//cosmosvet:hotpath
+func (t *Transport) getOutstanding() *outstanding {
+	if n := len(t.outFree); n > 0 {
+		o := t.outFree[n-1]
+		t.outFree[n-1] = nil
+		t.outFree = t.outFree[:n-1]
+		*o = outstanding{}
+		return o
+	}
+	//cosmosvet:allow hotpath retransmit-record arena growth; acked frames recycle through outFree
+	return &outstanding{}
+}
+
 // armTimer schedules the retransmit check for frame ts on l, using the
 // frame's current backoff.
+//
+//cosmosvet:hotpath
 func (t *Transport) armTimer(l *link, ts uint64) {
-	//cosmosvet:allow hotpath retransmit-timer closure, one per frame send by design
-	t.engine.After(l.unacked[ts].backoff, func() { t.timerFired(l, ts) })
+	t.engine.PostAfter(l.unacked[ts].backoff, sim.EventRec{
+		Kind: t.kindRetx, Src: l.src, Dst: l.dst, Seq: ts,
+	})
+}
+
+// handleRetx fires a retransmit timer delivered as a value-typed
+// event: the record names the link and the frame.
+//
+//cosmosvet:hotpath
+func (t *Transport) handleRetx(rec sim.EventRec) {
+	t.timerFired(t.linkFor(rec.Src, rec.Dst), rec.Seq)
 }
 
 // timerFired retransmits frame ts if it is still unacknowledged,
@@ -385,9 +423,10 @@ func (t *Transport) release(l *link, msg coherence.Msg) {
 func (t *Transport) handleAck(pkt network.Packet) {
 	t.stats.AcksRecv++
 	l := t.linkFor(pkt.Dst, pkt.Src)
-	for ts := range l.unacked {
+	for ts, o := range l.unacked {
 		if ts <= pkt.TSeq {
 			delete(l.unacked, ts)
+			t.outFree = append(t.outFree, o)
 		}
 	}
 }

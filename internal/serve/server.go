@@ -104,6 +104,13 @@ type Server struct {
 	failure   error
 	onFailure func(error)
 	stats     Stats
+
+	// processEv and watchdogEv hold the worker and watchdog steps as
+	// prebuilt events: scheduling a bound method (s.process) mints a
+	// fresh closure per call, which the per-entry kick path would pay
+	// on every observation.
+	processEv  sim.Event
+	watchdogEv sim.Event
 }
 
 // walSyncEvery is how many appended records ride between fsyncs: the
@@ -119,6 +126,8 @@ func New(eng *sim.Engine, tr *reliable.Transport, store *Store, cfg Config) (*Se
 		return nil, err
 	}
 	s := &Server{cfg: cfg, eng: eng, tr: tr, store: store}
+	s.processEv = s.process
+	s.watchdogEv = s.watchdog
 	s.stats.Shed = make([]uint64, cfg.Streams)
 	s.stats.TimedOut = make([]uint64, cfg.Streams)
 	s.stats.Dropped = make([]uint64, cfg.Streams)
@@ -413,7 +422,7 @@ func (s *Server) kick() {
 		return
 	}
 	s.busy = true
-	s.eng.After(s.cfg.ProcessNs, s.process)
+	s.eng.After(s.cfg.ProcessNs, s.processEv)
 }
 
 // process serves the queue head.
@@ -486,7 +495,7 @@ func (s *Server) armWatchdog() {
 	}
 	s.watchdogArmed = true
 	s.lastProgress = s.processed
-	s.eng.After(s.cfg.WatchdogNs, s.watchdog)
+	s.eng.After(s.cfg.WatchdogNs, s.watchdogEv)
 }
 
 func (s *Server) watchdog() {

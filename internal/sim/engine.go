@@ -7,11 +7,24 @@
 // not be reproducible. Events scheduled for the same instant are
 // processed in the order they were scheduled (FIFO by a monotonically
 // increasing sequence number), never by map iteration or heap caprice.
+//
+// The scheduler is split by horizon. Near-future events — the
+// overwhelming majority, since NI and wire latencies are small
+// constants — go into a timing wheel: wheelSpan slots of one
+// nanosecond each, indexed by `at & wheelMask`, with a slot-occupancy
+// bitmap scanned from `now` so the next event is found in O(words)
+// regardless of queue depth. Far timers (retransmit backoff tails,
+// barrier latencies at large node counts, watchdog deadlines) overflow
+// into the typed binary heap the engine always had. Nothing ever
+// migrates between the two: Step compares the wheel's earliest item
+// with the overflow top by (time, seq) and fires the smaller, so the
+// merged order is exactly the order the single heap produced.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is simulated time in nanoseconds.
@@ -20,14 +33,27 @@ type Time uint64
 // String renders times in nanoseconds.
 func (t Time) String() string { return fmt.Sprintf("%dns", uint64(t)) }
 
-// Event is a unit of scheduled work.
+// Event is a unit of scheduled work on the closure compatibility path.
 type Event func()
 
-// item is one entry in the event heap.
+// item is one entry in the scheduler. Exactly one of fn and rec is
+// live: fn for compatibility-path closures, rec (fn == nil) for
+// value-typed events.
 type item struct {
 	at  Time
 	seq uint64
 	fn  Event
+	rec EventRec
+}
+
+// less orders two items by firing time, FIFO within an instant.
+//
+//cosmosvet:hotpath
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // eventHeap is a binary min-heap ordered by (time, seq). It is
@@ -39,12 +65,7 @@ type item struct {
 type eventHeap []item
 
 // less orders events by firing time, FIFO within an instant.
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) less(i, j int) bool { return h[i].less(h[j]) }
 
 // push appends it and restores the heap property by sifting up.
 //
@@ -95,6 +116,34 @@ func (h *eventHeap) pop() item {
 	return top
 }
 
+// Timing-wheel geometry. The span must cover the common scheduling
+// horizon — per-hop latencies (tens of ns), NI occupancy, think time —
+// so that only genuinely far timers pay the heap's O(log n).
+const (
+	wheelBits = 12
+	// wheelSpan is the wheel horizon in nanoseconds: events with
+	// at - now < wheelSpan are wheel-resident, the rest overflow.
+	wheelSpan = Time(1) << wheelBits
+	wheelMask = int(wheelSpan - 1)
+	wheelSize = int(wheelSpan)
+	occWords  = wheelSize / 64
+	// slotCap0 is the initial per-slot capacity, carved out of one
+	// shared backing array at wheel setup: a slot that never holds more
+	// than slotCap0 simultaneous events never allocates on its own.
+	slotCap0 = 4
+)
+
+// wheelSlot is one wheel bucket: an append-ordered run of items with
+// head marking the next unfired entry. Because the live window
+// [now, now+wheelSpan) maps injectively onto slots, every item in a
+// nonempty slot shares a single firing time, and because global
+// scheduling order is seq order, appends keep each slot FIFO-sorted
+// with no per-insert comparison at all.
+type wheelSlot struct {
+	head  int
+	items []item
+}
+
 // Perturb is a bounded scheduling perturbation: given the nominal
 // firing time and the scheduling sequence number of an event, it
 // returns an extra non-negative delay to add before queueing. The
@@ -112,10 +161,25 @@ type Perturb func(at Time, seq uint64) Time
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
 	fired   uint64
 	halted  bool
 	perturb Perturb
+
+	// handlers is the fixed dispatch table for value-typed events,
+	// indexed by EventKind.
+	handlers []Handler
+
+	// slots/occ/wheelCount form the timing wheel; slots is allocated
+	// lazily on the first scheduled event so a zero Engine stays cheap.
+	slots      []wheelSlot
+	occ        []uint64
+	wheelCount int
+
+	// overflow holds events beyond the wheel horizon. With heapOnly
+	// set it holds everything — the pure-heap reference scheduler the
+	// wheel is pinned against in equivalence tests.
+	overflow eventHeap
+	heapOnly bool
 }
 
 // SetPerturb installs (or, with nil, removes) a scheduling
@@ -123,6 +187,19 @@ type Engine struct {
 // it before the first event is scheduled; swapping mid-run would make
 // the run depend on when the swap happened.
 func (e *Engine) SetPerturb(p Perturb) { e.perturb = p }
+
+// SetHeapOnly switches the engine onto (or off) the pure-heap
+// scheduler, bypassing the timing wheel entirely. The two schedulers
+// implement the identical (time, seq) contract; the heap-only mode
+// exists as the reference implementation equivalence tests pin the
+// wheel against. Switching with events pending would strand wheel
+// residents, so it panics.
+func (e *Engine) SetHeapOnly(on bool) {
+	if e.Pending() > 0 {
+		panic("sim: SetHeapOnly with events pending")
+	}
+	e.heapOnly = on
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -132,23 +209,28 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled-but-unfired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.overflow) }
 
 // NextAt returns the timestamp of the earliest queued event. ok is
 // false when the queue is empty.
 func (e *Engine) NextAt() (at Time, ok bool) {
-	if len(e.queue) == 0 {
-		return 0, false
+	idx, wOk := e.wheelPeek()
+	if wOk {
+		s := &e.slots[idx]
+		at, ok = s.items[s.head].at, true
 	}
-	return e.queue[0].at, true
+	if len(e.overflow) > 0 && (!ok || e.overflow[0].at < at) {
+		at, ok = e.overflow[0].at, true
+	}
+	return at, ok
 }
 
-// At schedules fn to run at absolute time at. Scheduling in the past is
-// a programming error and panics, because it would silently reorder
-// causality.
+// schedule is the common path under At and Post: enforce causality,
+// stamp the FIFO sequence number, apply any perturbation, and route
+// the item to the wheel or the overflow heap by horizon.
 //
 //cosmosvet:hotpath
-func (e *Engine) At(at Time, fn Event) {
+func (e *Engine) schedule(at Time, fn Event, rec EventRec) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -156,8 +238,122 @@ func (e *Engine) At(at Time, fn Event) {
 	if e.perturb != nil {
 		at += e.perturb(at, e.seq)
 	}
-	e.queue.push(item{at: at, seq: e.seq, fn: fn})
+	it := item{at: at, seq: e.seq, fn: fn, rec: rec}
+	if !e.heapOnly && at-e.now < wheelSpan {
+		if e.slots == nil {
+			e.initWheel()
+		}
+		e.wheelAdd(it)
+		return
+	}
+	e.overflow.push(it)
 }
+
+// initWheel performs the one-time lazy wheel allocation: the slot
+// table, the occupancy bitmap, and one shared backing array carved
+// into slotCap0-item runs so shallow slots never allocate individually.
+func (e *Engine) initWheel() {
+	//cosmosvet:allow hotpath one-time lazy wheel allocation on the first scheduled event
+	e.slots = make([]wheelSlot, wheelSize)
+	//cosmosvet:allow hotpath one-time lazy wheel allocation on the first scheduled event
+	e.occ = make([]uint64, occWords)
+	//cosmosvet:allow hotpath one-time lazy wheel allocation on the first scheduled event
+	backing := make([]item, wheelSize*slotCap0)
+	for i := range e.slots {
+		e.slots[i].items = backing[i*slotCap0 : i*slotCap0 : (i+1)*slotCap0]
+	}
+}
+
+// wheelAdd appends it to its slot and marks the slot occupied.
+//
+//cosmosvet:hotpath
+func (e *Engine) wheelAdd(it item) {
+	idx := int(it.at) & wheelMask
+	s := &e.slots[idx]
+	//cosmosvet:allow hotpath amortized slot growth; steady state reuses the backing array
+	s.items = append(s.items, it)
+	e.occ[idx>>6] |= 1 << uint(idx&63)
+	e.wheelCount++
+}
+
+// wheelPeek finds the slot holding the wheel's earliest item: the
+// first occupied slot scanning circularly from now's slot. Every
+// wheel-resident item lies in [now, now+wheelSpan), which maps
+// one-to-one onto slots, so circular slot order IS firing-time order.
+//
+//cosmosvet:hotpath
+func (e *Engine) wheelPeek() (idx int, ok bool) {
+	if e.wheelCount == 0 {
+		return 0, false
+	}
+	start := int(e.now) & wheelMask
+	w0, b0 := start>>6, uint(start&63)
+	if word := e.occ[w0] >> b0; word != 0 {
+		return start + bits.TrailingZeros64(word), true
+	}
+	for i := 1; i <= occWords; i++ {
+		w := w0 + i
+		if w >= occWords {
+			w -= occWords
+		}
+		word := e.occ[w]
+		if w == w0 {
+			// Wrapped back to the starting word: only the bits below
+			// now's position remain unexamined.
+			word &= 1<<b0 - 1
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+	}
+	panic("sim: wheel count positive but no occupied slot")
+}
+
+// wheelPop removes and returns the head item of slot idx, releasing
+// the slot (and its occupancy bit) when it empties. The backing array
+// is kept for reuse, so steady state recycles slot storage instead of
+// allocating.
+//
+//cosmosvet:hotpath
+func (e *Engine) wheelPop(idx int) item {
+	s := &e.slots[idx]
+	it := s.items[s.head]
+	s.items[s.head] = item{} // release the event closure for the GC
+	s.head++
+	if s.head == len(s.items) {
+		s.items = s.items[:0]
+		s.head = 0
+		e.occ[idx>>6] &^= 1 << uint(idx&63)
+	}
+	e.wheelCount--
+	return it
+}
+
+// pop removes and returns the globally earliest item, merging the
+// wheel and the overflow heap by (time, seq). An overflow item can
+// share an instant with a wheel item (a far-scheduled timer whose
+// horizon arrived), so the seq tiebreak is load-bearing here.
+//
+//cosmosvet:hotpath
+func (e *Engine) pop() item {
+	idx, wOk := e.wheelPeek()
+	if !wOk {
+		return e.overflow.pop()
+	}
+	s := &e.slots[idx]
+	if len(e.overflow) > 0 && e.overflow[0].less(s.items[s.head]) {
+		return e.overflow.pop()
+	}
+	return e.wheelPop(idx)
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past is
+// a programming error and panics, because it would silently reorder
+// causality. At is the compatibility path for cold callers (watchdogs,
+// chaos hooks, tests); hot schedulers use Post with value-typed events.
+//
+//cosmosvet:hotpath
+func (e *Engine) At(at Time, fn Event) { e.schedule(at, fn, EventRec{}) }
 
 // After schedules fn to run delay nanoseconds from now.
 //
@@ -173,13 +369,17 @@ func (e *Engine) Halt() { e.halted = true }
 //
 //cosmosvet:hotpath
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.wheelCount == 0 && len(e.overflow) == 0 {
 		return false
 	}
-	it := e.queue.pop()
+	it := e.pop()
 	e.now = it.at
 	e.fired++
-	it.fn()
+	if it.fn != nil {
+		it.fn()
+	} else {
+		e.handlers[it.rec.Kind](it.rec)
+	}
 	return true
 }
 
@@ -209,7 +409,11 @@ func (e *Engine) Run(maxEvents uint64) (uint64, error) {
 // queue drains early.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	var fired uint64
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		at, ok := e.NextAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 		fired++
 	}

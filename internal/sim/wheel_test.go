@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// firingLog runs the same scheduling script against a wheel engine and
+// a heap-only engine and returns both firing orders, rendered as
+// "(id@time)" strings so mismatches read directly in failures. The
+// script receives the engine and a record function it must call from
+// every event.
+func firingLogs(t *testing.T, script func(e *Engine, record func(id int))) (wheel, heap string) {
+	t.Helper()
+	run := func(heapOnly bool) string {
+		e := &Engine{}
+		e.SetHeapOnly(heapOnly)
+		var log []string
+		script(e, func(id int) {
+			log = append(log, fmt.Sprintf("(%d@%d)", id, uint64(e.Now())))
+		})
+		for e.Step() {
+		}
+		return fmt.Sprint(log)
+	}
+	return run(false), run(true)
+}
+
+// TestWheelHeapEquivalenceRandom drives both schedulers with the same
+// pseudo-random mix of near (wheel-resident) and far (overflow) events,
+// including same-instant collisions, and requires byte-identical
+// firing order. The times deliberately straddle the horizon: half the
+// range is inside wheelSpan, half beyond it.
+func TestWheelHeapEquivalenceRandom(t *testing.T) {
+	f := func(times []uint16) bool {
+		script := func(e *Engine, record func(int)) {
+			for i, at := range times {
+				id := i
+				// uint16 tops out at 65535, 16x the wheel span, so
+				// both routes are exercised.
+				e.At(Time(at), func() { record(id) })
+			}
+		}
+		wheel, heap := firingLogs(t, script)
+		return wheel == heap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelHorizonBoundary pins the exact horizon edge: an event at
+// now+wheelSpan-1 is the last wheel resident, one at now+wheelSpan the
+// first overflow, and both must fire in (time, seq) order either way.
+func TestWheelHorizonBoundary(t *testing.T) {
+	wheel, heap := firingLogs(t, func(e *Engine, record func(int)) {
+		e.At(Time(wheelSpan), func() { record(1) })   // first beyond the horizon
+		e.At(Time(wheelSpan-1), func() { record(0) }) // last inside it
+		e.At(Time(wheelSpan), func() { record(2) })   // same instant as 1, later seq
+	})
+	if wheel != heap {
+		t.Fatalf("horizon boundary order diverged:\nwheel: %s\nheap:  %s", wheel, heap)
+	}
+	if want := "[(0@4095) (1@4096) (2@4096)]"; wheel != want {
+		t.Fatalf("firing order = %s, want %s", wheel, want)
+	}
+}
+
+// TestWheelOverflowInterleaving schedules a far event, advances time
+// until that event is inside the wheel horizon, then schedules wheel
+// events at the identical instant. The overflow resident has the lower
+// seq, so it must fire first — the merge point's seq tiebreak.
+func TestWheelOverflowInterleaving(t *testing.T) {
+	wheel, heap := firingLogs(t, func(e *Engine, record func(int)) {
+		far := Time(wheelSpan + 100)
+		e.At(far, func() { record(0) }) // overflow resident, seq 1
+		e.At(Time(wheelSpan), func() {  // fires once 'far' is within the horizon
+			e.At(far, func() { record(1) }) // wheel resident, same instant, later seq
+			record(2)
+		})
+	})
+	if wheel != heap {
+		t.Fatalf("overflow interleaving diverged:\nwheel: %s\nheap:  %s", wheel, heap)
+	}
+	if want := fmt.Sprintf("[(2@%d) (0@%d) (1@%d)]", uint64(wheelSpan), wheelSpan+100, wheelSpan+100); wheel != want {
+		t.Fatalf("firing order = %s, want %s", wheel, want)
+	}
+}
+
+// TestWheelPerturbAcrossHorizon installs a Perturb that pushes
+// nominally near events past the wheel horizon (the chaos fuzzer can
+// legally do this), and requires the perturbed order to match the
+// heap's exactly.
+func TestWheelPerturbAcrossHorizon(t *testing.T) {
+	perturb := func(at Time, seq uint64) Time {
+		if seq%3 == 0 {
+			return wheelSpan + Time(seq) // shove every third event far out
+		}
+		return Time(seq % 7)
+	}
+	wheel, heap := firingLogs(t, func(e *Engine, record func(int)) {
+		e.SetPerturb(perturb)
+		for i := 0; i < 50; i++ {
+			id := i
+			e.At(Time(i%10), func() { record(id) })
+		}
+	})
+	if wheel != heap {
+		t.Fatalf("perturbed order diverged:\nwheel: %s\nheap:  %s", wheel, heap)
+	}
+}
+
+// TestWheelRunUntilMidSlot stops RunUntil at a deadline landing in the
+// middle of a populated instant's slot window, on both engines: events
+// at the deadline fire, events one tick later stay queued, and the
+// clock parks exactly at the deadline.
+func TestWheelRunUntilMidSlot(t *testing.T) {
+	for _, heapOnly := range []bool{false, true} {
+		e := &Engine{}
+		e.SetHeapOnly(heapOnly)
+		var fired []int
+		for i, at := range []Time{10, 20, 20, 21, wheelSpan + 5} {
+			id := i
+			e.At(at, func() { fired = append(fired, id) })
+		}
+		if n := e.RunUntil(20); n != 3 {
+			t.Fatalf("heapOnly=%v: RunUntil(20) fired %d events, want 3", heapOnly, n)
+		}
+		if want := fmt.Sprint([]int{0, 1, 2}); fmt.Sprint(fired) != want {
+			t.Fatalf("heapOnly=%v: fired %v, want %s", heapOnly, fired, want)
+		}
+		if e.Now() != 20 {
+			t.Fatalf("heapOnly=%v: now = %v, want 20", heapOnly, e.Now())
+		}
+		if e.Pending() != 2 {
+			t.Fatalf("heapOnly=%v: pending = %d, want 2", heapOnly, e.Pending())
+		}
+		// Draining past the far event must advance through the slot and
+		// the overflow alike.
+		if n := e.RunUntil(MaxTime); n != 2 {
+			t.Fatalf("heapOnly=%v: final drain fired %d events, want 2", heapOnly, n)
+		}
+	}
+}
+
+// TestWheelValueEventsMatchClosures interleaves Post value events with
+// At closures at shared instants and checks the merged FIFO order on
+// both engines.
+func TestWheelValueEventsMatchClosures(t *testing.T) {
+	for _, heapOnly := range []bool{false, true} {
+		e := &Engine{}
+		e.SetHeapOnly(heapOnly)
+		var log []string
+		kind := e.RegisterHandler(func(rec EventRec) {
+			log = append(log, fmt.Sprintf("post%d@%d", rec.Seq, uint64(e.Now())))
+		})
+		e.At(5, func() { log = append(log, fmt.Sprintf("fn@%d", uint64(e.Now()))) })
+		e.Post(5, EventRec{Kind: kind, Seq: 1})
+		e.At(5, func() { log = append(log, fmt.Sprintf("fn2@%d", uint64(e.Now()))) })
+		e.PostAfter(5, EventRec{Kind: kind, Seq: 2})
+		for e.Step() {
+		}
+		if want := "[fn@5 post1@5 fn2@5 post2@5]"; fmt.Sprint(log) != want {
+			t.Fatalf("heapOnly=%v: order = %v, want %s", heapOnly, log, want)
+		}
+	}
+}
+
+// TestSetHeapOnlyPanicsWithPending documents the mode-switch guard.
+func TestSetHeapOnlyPanicsWithPending(t *testing.T) {
+	e := &Engine{}
+	e.At(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetHeapOnly with pending events did not panic")
+		}
+	}()
+	e.SetHeapOnly(true)
+}
+
+// TestPostUnregisteredKindPanics documents the dispatch-table guard.
+func TestPostUnregisteredKindPanics(t *testing.T) {
+	e := &Engine{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post with an unregistered kind did not panic")
+		}
+	}()
+	e.Post(0, EventRec{Kind: 3})
+}

@@ -37,6 +37,11 @@ type StreamWriter struct {
 	iters  uint32
 	closed bool
 	err    error
+	// rec is the per-record encode buffer. It lives on the struct
+	// because a stack buffer passed to the bufio.Writer interface
+	// escapes — one heap allocation per record, the single largest
+	// allocation site of a 1024-node streamed capture.
+	rec [recordSize]byte
 }
 
 // NewStreamWriter starts a CTRC v2 file for app over nodes on f
@@ -80,7 +85,7 @@ func (w *StreamWriter) Append(r Record) error {
 		w.err = fmt.Errorf("trace: Append after Close")
 		return w.err
 	}
-	var rec [recordSize]byte
+	rec := &w.rec
 	binary.LittleEndian.PutUint16(rec[0:], uint16(r.Node))
 	rec[2] = byte(r.Side)
 	binary.LittleEndian.PutUint16(rec[3:], uint16(r.Sender))

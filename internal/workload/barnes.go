@@ -97,17 +97,38 @@ func pickDistinct(r *rng, procs, n, exclude int) []int {
 	if n > procs-1 {
 		n = procs - 1
 	}
-	chosen := make([]int, 0, n)
-	used := map[int]bool{exclude: true}
-	for len(chosen) < n {
+	return pickDistinctInto(make([]int, 0, n), r, procs, n, exclude)
+}
+
+// pickDistinctInto is pickDistinct appending into a reusable buffer:
+// identical rejection-sampling draws (a duplicate or excluded pick
+// consumes the same RNG value and retries), so it yields the identical
+// selection without the per-call slice and set allocations. Membership
+// is checked by scanning the picks so far, which beats a map for the
+// small n the generators use.
+func pickDistinctInto(buf []int, r *rng, procs, n, exclude int) []int {
+	if n > procs-1 {
+		n = procs - 1
+	}
+	start := len(buf)
+	for len(buf)-start < n {
 		p := r.intn(procs)
-		if used[p] {
+		if p == exclude {
 			continue
 		}
-		used[p] = true
-		chosen = append(chosen, p)
+		dup := false
+		for _, q := range buf[start:] {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		buf = append(buf, p)
 	}
-	return chosen
+	return buf
 }
 
 // assignment returns the cell->slot mapping for iteration iter,

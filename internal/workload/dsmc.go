@@ -42,6 +42,18 @@ type DSMC struct {
 	cold     coldRegion
 
 	settleIters int
+
+	// flowsBySrc/flowsByDst index flows by endpoint (ascending flow
+	// index, preserving the flows-slice iteration order), so a phase
+	// visits only its own processor's flows instead of scanning all
+	// O(procs) of them.
+	flowsBySrc [][]int32
+	flowsByDst [][]int32
+	// orderBuf and pickBuf are per-instance scratch for the recurring
+	// traversal orders and metadata reader picks; an App instance
+	// belongs to one machine, which generates phases one at a time.
+	orderBuf []int
+	pickBuf  []int
 }
 
 type dsmcFlow struct {
@@ -81,6 +93,12 @@ func NewDSMC(procs int, scale Scale) *DSMC {
 	d.metadata = arena.Alloc(metaBlocks)
 	coldBlocks := map[Scale]int{ScaleSmall: 8, ScaleMedium: 512, ScaleFull: 4800}[scale]
 	d.cold = newColdRegion(arena, coldBlocks, procs)
+	d.flowsBySrc = make([][]int32, procs)
+	d.flowsByDst = make([][]int32, procs)
+	for fi, f := range d.flows {
+		d.flowsBySrc[f.src] = append(d.flowsBySrc[f.src], int32(fi))
+		d.flowsByDst[f.dst] = append(d.flowsByDst[f.dst], int32(fi))
+	}
 	return d
 }
 
@@ -135,20 +153,24 @@ func (d *DSMC) PhasesPerIteration() int { return 2 }
 
 // Accesses implements App.
 func (d *DSMC) Accesses(p, phase int) []Access {
+	return d.AppendAccesses(nil, p, phase)
+}
+
+// AppendAccesses implements Appender, generating into the caller's
+// buffer with per-instance scratch for the traversal orders, so a
+// machine replaying phases stops allocating per (processor, phase).
+func (d *DSMC) AppendAccesses(seq []Access, p, phase int) []Access {
 	iter, sub := phase/2, phase%2
-	r := newRNG(d.seed ^ uint64(p)<<24 ^ uint64(phase)<<2)
-	var seq []Access
+	r := seededRNG(d.seed ^ uint64(p)<<24 ^ uint64(phase)<<2)
 
 	if sub == 0 {
-		seq = append(seq, d.cold.reads(p, phase)...)
+		seq = d.cold.appendReads(seq, p, phase)
 		// Send phase: write outgoing buffers (write-first: no read —
 		// this is why half-migratory helps dsmc, Section 6.1).
-		for fi, f := range d.flows {
-			if f.src != p {
-				continue
-			}
+		for _, fi := range d.flowsBySrc[p] {
+			f := d.flows[fi]
 			for b := 0; b < f.blocks.Blocks(); b++ {
-				if d.transfers(fi, b, iter) {
+				if d.transfers(int(fi), b, iter) {
 					seq = append(seq, Write(f.blocks.Block(b)))
 				}
 			}
@@ -165,8 +187,8 @@ func (d *DSMC) Accesses(p, phase int) []Access {
 					continue
 				}
 				if r.float() < d.contendProb*float64(len(d.contenders[i])) {
-					order := recurringOrder(d.seed, uint64(i)<<8|uint64(ci), iter, reg.Blocks(), 3, 0.6)
-					for _, b := range order {
+					d.orderBuf = recurringOrderInto(d.orderBuf[:0], d.seed, uint64(i)<<8|uint64(ci), iter, reg.Blocks(), 3, 0.6)
+					for _, b := range d.orderBuf {
 						seq = append(seq, Read(reg.Block(b)), Write(reg.Block(b)))
 					}
 				}
@@ -177,13 +199,11 @@ func (d *DSMC) Accesses(p, phase int) []Access {
 
 	// Receive phase: read the buffers that transferred this iteration,
 	// in the consumer's sweep order (with recurring perturbations).
-	for fi, f := range d.flows {
-		if f.dst != p {
-			continue
-		}
-		order := recurringOrder(d.seed, uint64(fi), iter, f.blocks.Blocks(), 3, 0.85)
-		for _, b := range order {
-			if d.transfers(fi, b, iter) {
+	for _, fi := range d.flowsByDst[p] {
+		f := d.flows[fi]
+		d.orderBuf = recurringOrderInto(d.orderBuf[:0], d.seed, uint64(fi), iter, f.blocks.Blocks(), 3, 0.85)
+		for _, b := range d.orderBuf {
+			if d.transfers(int(fi), b, iter) {
 				seq = append(seq, Read(f.blocks.Block(b)))
 			}
 		}
@@ -196,8 +216,9 @@ func (d *DSMC) Accesses(p, phase int) []Access {
 	// ratio *falls* as depth grows (Table 7's footnote).
 	if iter < 2 {
 		for b := 0; b < d.metadata.Blocks(); b++ {
-			readers := pickDistinct(newRNG(d.seed^0x3e7a^uint64(b)), d.procs, 2+b%3, -1)
-			for ri, q := range readers {
+			pick := seededRNG(d.seed ^ 0x3e7a ^ uint64(b))
+			d.pickBuf = pickDistinctInto(d.pickBuf[:0], &pick, d.procs, 2+b%3, -1)
+			for ri, q := range d.pickBuf {
 				if q != p {
 					continue
 				}

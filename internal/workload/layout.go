@@ -85,14 +85,19 @@ func newColdRegion(a *Arena, blocks, procs int) coldRegion {
 // reads returns processor p's cold reads for the given phase (empty
 // except in phase 0).
 func (c coldRegion) reads(p, phase int) []Access {
+	return c.appendReads(nil, p, phase)
+}
+
+// appendReads appends processor p's cold reads for the phase to dst
+// (a no-op except in phase 0).
+func (c coldRegion) appendReads(dst []Access, p, phase int) []Access {
 	if phase != 0 || c.blocks.Blocks() == 0 {
-		return nil
+		return dst
 	}
 	n := c.blocks.Blocks()
 	lo, hi := p*n/c.procs, (p+1)*n/c.procs
-	out := make([]Access, 0, hi-lo)
 	for b := lo; b < hi; b++ {
-		out = append(out, Read(c.blocks.Block(b)))
+		dst = append(dst, Read(c.blocks.Block(b)))
 	}
-	return out
+	return dst
 }

@@ -54,6 +54,26 @@ func AppIterations(a App) int {
 	return a.Iterations() / a.PhasesPerIteration()
 }
 
+// Appender is an optional App capability: generators that can append a
+// phase's access sequence into a caller-provided buffer implement it,
+// so a caller replaying phases (the machine's issue loop) can recycle
+// one buffer per processor instead of allocating a fresh slice every
+// (processor, phase) pair. The appended contents must be identical to
+// what Accesses returns for the same arguments.
+type Appender interface {
+	AppendAccesses(dst []Access, p, iter int) []Access
+}
+
+// AppendAccesses appends processor p's phase-iter access sequence to
+// dst and returns the extended slice, using the app's Appender fast
+// path when it has one and falling back to copying Accesses otherwise.
+func AppendAccesses(app App, dst []Access, p, iter int) []Access {
+	if a, ok := app.(Appender); ok {
+		return a.AppendAccesses(dst, p, iter)
+	}
+	return append(dst, app.Accesses(p, iter)...)
+}
+
 // Scale selects the size of the synthetic workloads. Tests use
 // ScaleSmall to stay fast; the experiment harness uses ScaleFull.
 type Scale int
@@ -85,11 +105,20 @@ func (s Scale) String() string {
 // across Go releases.
 type rng struct{ s uint64 }
 
-func newRNG(seed uint64) *rng {
+// seededRNG returns the generator as a value, for callers that keep it
+// on the stack; newRNG wraps it for the historical pointer-style call
+// sites. Both apply the same zero-seed substitution, so they generate
+// identical streams for identical seeds.
+func seededRNG(seed uint64) rng {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &rng{s: seed}
+	return rng{s: seed}
+}
+
+func newRNG(seed uint64) *rng {
+	r := seededRNG(seed)
+	return &r
 }
 
 func (r *rng) next() uint64 {
@@ -114,15 +143,24 @@ func (r *rng) float() float64 {
 
 // perm returns a deterministic pseudo-random permutation of [0, n).
 func (r *rng) perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return r.permInto(make([]int, 0, n), n)
+}
+
+// permInto appends a deterministic pseudo-random permutation of [0, n)
+// to buf, drawing exactly the values perm draws, so callers with a
+// reusable buffer generate the identical permutation without the
+// per-call allocation.
+func (r *rng) permInto(buf []int, n int) []int {
+	start := len(buf)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
 	}
+	p := buf[start:]
 	for i := n - 1; i > 0; i-- {
 		j := r.intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
+	return buf
 }
 
 // recurringOrder returns one of k recurring traversal orders of [0, n)
@@ -134,12 +172,20 @@ func (r *rng) perm(n int) []int {
 // noise"). Variant 0 (the dominant program order) is used with
 // probability base; otherwise one of the k-1 recurring alternates.
 func recurringOrder(seed uint64, id uint64, iter, n, k int, base float64) []int {
-	pick := newRNG(seed ^ 0x0bde ^ id<<20 ^ uint64(iter)*0x9e37)
+	return recurringOrderInto(nil, seed, id, iter, n, k, base)
+}
+
+// recurringOrderInto is recurringOrder appending into a reusable
+// buffer: identical RNG draws, identical order, no allocation once the
+// buffer has grown to n.
+func recurringOrderInto(buf []int, seed uint64, id uint64, iter, n, k int, base float64) []int {
+	pick := seededRNG(seed ^ 0x0bde ^ id<<20 ^ uint64(iter)*0x9e37)
 	v := 0
 	if k > 1 && pick.float() >= base {
 		v = 1 + pick.intn(k-1)
 	}
-	return newRNG(seed ^ 0x9e37 ^ id<<8 ^ uint64(v)).perm(n)
+	order := seededRNG(seed ^ 0x9e37 ^ id<<8 ^ uint64(v))
+	return order.permInto(buf, n)
 }
 
 // Registry returns the five paper benchmarks at the given scale for a
